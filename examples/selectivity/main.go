@@ -1,0 +1,105 @@
+// selectivity demonstrates the paper's Figure 1 and Figure 6 stories live:
+// as join selectivity falls (or k grows), the optimizer's choice flips
+// between the rank-join plan and the traditional join-then-sort plan, and
+// the crossover point k* can be computed per plan pair.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rankopt/internal/core"
+	"rankopt/internal/expr"
+	"rankopt/internal/logical"
+	"rankopt/internal/plan"
+	"rankopt/internal/workload"
+)
+
+func query() *logical.Query {
+	return &logical.Query{
+		Tables: []string{"T1", "T2"},
+		Joins:  []logical.JoinPred{{L: expr.Col("T1", "key"), R: expr.Col("T2", "key")}},
+		Score: expr.Sum(
+			expr.ScoreTerm{Weight: 1, E: expr.Col("T1", "score")},
+			expr.ScoreTerm{Weight: 1, E: expr.Col("T2", "score")},
+		),
+		K: 10,
+	}
+}
+
+func kindOf(n *plan.Node) string {
+	if n.CountOps(plan.OpHRJN)+n.CountOps(plan.OpNRJN) == 0 {
+		return "join-then-sort"
+	}
+	if n.CountOps(plan.OpSort) > 0 {
+		return "rank-join (sort-fed)"
+	}
+	return "rank-join (pipelined)"
+}
+
+const n = 100000
+
+func main() {
+	fmt.Printf("top-10 query over two %d-row ranked tables; optimizer choice by selectivity:\n", n)
+	fmt.Printf("%12s  %-14s  %s\n", "selectivity", "chosen plan", "estimated cost @k=10")
+	for _, s := range []float64{0.0000001, 0.000001, 0.00001, 0.0001, 0.01} {
+		cat, _ := workload.RankedSet(2, workload.RankedConfig{
+			N: n, Selectivity: s, Seed: 21,
+		})
+		res, err := core.Optimize(cat, query(), core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12.5f  %-14s  %.0f\n", s, kindOf(res.Best), res.Best.Cost(10))
+	}
+
+	fmt.Println("\nfixed selectivity 1e-5; optimizer choice by k (the Figure 6 story):")
+	fmt.Printf("%8s  %-14s  %s\n", "k", "chosen plan", "estimated cost @k")
+	for _, k := range []int{10, 25, 50, 100, 1000} {
+		cat, _ := workload.RankedSet(2, workload.RankedConfig{
+			N: n, Selectivity: 0.00001, Seed: 21,
+		})
+		q := query()
+		q.K = k
+		res, err := core.Optimize(cat, q, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d  %-14s  %.0f\n", k, kindOf(res.Best), res.Best.Cost(float64(k)))
+	}
+
+	// The k* crossover for one fixed instance: find a rank plan and a sort
+	// plan among the optimizer's retained root plans and bisect.
+	cat, _ := workload.RankedSet(2, workload.RankedConfig{
+		N: n, Selectivity: 0.00001, Seed: 21,
+	})
+	res, err := core.Optimize(cat, query(), core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rank, other *plan.Node
+	for _, p := range res.Memo["T1,T2"] {
+		if p.Op.IsRankJoin() && p.Props.Pipelined && rank == nil {
+			rank = p
+		}
+		if !p.Op.IsRankJoin() && p.TotalCost() < 1e5 && other == nil {
+			other = p
+		}
+	}
+	if rank == nil || other == nil {
+		fmt.Println("\nno plan pair retained for the crossover study")
+		return
+	}
+	// Finish the traditional plan with the final sort enforcer, as the
+	// optimizer's finish step would, then bisect for k*.
+	sorted := &plan.Node{
+		Op:       plan.OpSort,
+		Children: []*plan.Node{other},
+		Card:     other.Card,
+		P:        rank.P,
+		Props:    plan.Props{Order: plan.RankOrder("T1", "T2")},
+	}
+	kstar := core.CrossoverK(sorted, rank)
+	fmt.Printf("\nretained plan pair at s=1e-5: pipelined rank-join vs sorted %s\n", other.Op)
+	fmt.Printf("crossover k* = %.0f — below it the rank-join plan wins, above it sorting wins\n", kstar)
+}

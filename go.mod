@@ -1,0 +1,3 @@
+module rankopt
+
+go 1.22

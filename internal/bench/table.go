@@ -1,0 +1,93 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation: the sort-plan vs rank-join cost crossovers (Figures 1 and 6),
+// the MEMO plan-count growth under interesting orders and ranking
+// expressions (Figures 2 and 3, Table 1), k-propagation through a rank-join
+// pipeline (Figure 4), and the Section 5 depth- and buffer-estimation
+// accuracy experiments (Figures 13–15), plus ablations over the design
+// choices. Each experiment returns a Table whose rows are the series the
+// paper plots; cmd/raqo-bench prints them and bench_test.go wraps them as Go
+// benchmarks.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row; values may be numbers or strings.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case string:
+			row[i] = x
+		case int:
+			row[i] = fmt.Sprintf("%d", x)
+		case float64:
+			row[i] = formatFloat(x)
+		default:
+			row[i] = fmt.Sprint(x)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x >= 1000:
+		return fmt.Sprintf("%.0f", x)
+	case x >= 1:
+		return fmt.Sprintf("%.2f", x)
+	default:
+		return fmt.Sprintf("%.5f", x)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString("== " + t.Title + " ==\n")
+	if t.Note != "" {
+		b.WriteString(t.Note + "\n")
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, v := range r {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(fmt.Sprintf("%*s", widths[i], v))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"math"
+
+	"rankopt/internal/exec"
+	"rankopt/internal/expr"
+	"rankopt/internal/logical"
+	"rankopt/internal/plan"
+)
+
+// enumerateBase populates the size-1 MEMO entries: sequential scans, index
+// access paths satisfying interesting orders, and eagerly enforced sorts
+// (Section 3.1's eager policy).
+func (o *optimizer) enumerateBase() {
+	for _, ti := range o.tables {
+		mask := uint64(1) << uint(ti.idx)
+
+		// Heap scan (the DC plan).
+		o.addPlan(mask, o.wrapFilters(ti, &plan.Node{
+			Op:    plan.OpSeqScan,
+			Table: ti.name,
+			Card:  ti.rawCard,
+			P:     o.params,
+			Props: plan.Props{Order: plan.NoOrder, Pipelined: true},
+		}))
+
+		// Index paths for interesting column orders (join columns, ORDER BY).
+		for _, col := range o.interestingCols(ti.name) {
+			idx := o.cat.IndexOn(ti.name, col.Col.Name)
+			if idx == nil {
+				continue
+			}
+			o.addPlan(mask, o.wrapFilters(ti, &plan.Node{
+				Op:        plan.OpIndexScan,
+				Table:     ti.name,
+				Index:     idx,
+				IndexDesc: col.Desc,
+				Card:      ti.rawCard,
+				P:         o.params,
+				Props:     plan.Props{Order: plan.ColOrder(col.Col, col.Desc), Pipelined: true},
+			}))
+			// Eagerly enforce the order when no index serves it? The index
+			// exists here; the enforcement branch below covers the rest.
+		}
+
+		// Sargable filters over indexed columns become index range scans:
+		// only the matching key range is touched, and the full filter stays
+		// above the scan as a residual (covering strict inequalities).
+		for _, f := range ti.filters {
+			rs := o.rangeScanFor(ti, f)
+			if rs != nil {
+				o.addPlan(mask, rs)
+			}
+		}
+
+		// Enforced column orders for join columns lacking an index.
+		for _, col := range o.interestingCols(ti.name) {
+			if o.cat.IndexOn(ti.name, col.Col.Name) != nil {
+				continue
+			}
+			base := o.cheapBase(ti)
+			o.addPlan(mask, o.sortWrap(base,
+				[]exec.SortKey{{E: col.Col, Desc: col.Desc}},
+				plan.ColOrder(col.Col, col.Desc)))
+		}
+
+		if !o.rankAware() || ti.term == nil {
+			continue
+		}
+		rankProp := plan.RankOrder(ti.name)
+
+		// Natural ranked access: descending index scan on the score column.
+		natural := false
+		if ti.termIsCol {
+			if idx := o.cat.IndexOn(ti.name, ti.termCol.Name); idx != nil {
+				scan := &plan.Node{
+					Op:        plan.OpIndexScan,
+					Table:     ti.name,
+					Index:     idx,
+					IndexDesc: true,
+					Card:      ti.rawCard,
+					LSlab:     ti.termSlab,
+					P:         o.params,
+					Props:     plan.Props{Order: rankProp, Pipelined: true},
+				}
+				o.addPlan(mask, o.wrapFilters(ti, scan))
+				natural = true
+			}
+		}
+		// Enforced ranked order: sort the cheapest plan by the score term.
+		if !natural && !o.opts.DisableEnforcedRankInputs {
+			base := o.cheapBase(ti)
+			s := o.sortWrap(base, sortKeysByScore(expr.Sum(*ti.term)), rankProp)
+			s.LSlab = ti.termSlab
+			o.addPlan(mask, s)
+		}
+	}
+}
+
+// interestingCol is a column order wanted by later operations.
+type interestingCol struct {
+	Col  expr.ColRef
+	Desc bool
+}
+
+// interestingCols collects the interesting column orders for a table:
+// join-predicate columns (ascending, for merge joins) and the ORDER BY
+// column of non-ranking queries.
+func (o *optimizer) interestingCols(table string) []interestingCol {
+	var out []interestingCol
+	seen := map[string]bool{}
+	add := func(c expr.ColRef, desc bool) {
+		key := c.String()
+		if desc {
+			key += " desc"
+		}
+		if c.Table == table && !seen[key] {
+			seen[key] = true
+			out = append(out, interestingCol{Col: c, Desc: desc})
+		}
+	}
+	for _, j := range o.q.Joins {
+		add(j.L, false)
+		add(j.R, false)
+	}
+	if !o.q.Ranking() && o.q.OrderBy.Name != "" {
+		add(o.q.OrderBy, o.q.OrderDesc)
+	}
+	// Group-by columns are interesting ascending: a sorted-aggregate over a
+	// pre-ordered input streams and avoids the hash table.
+	for _, g := range o.q.GroupBy {
+		add(g, false)
+	}
+	return out
+}
+
+// rangeScanFor builds an index range scan for one sargable filter conjunct
+// (col OP const over an indexed column), or nil when the filter does not
+// qualify. The returned plan applies all of the table's filters above the
+// range scan.
+func (o *optimizer) rangeScanFor(ti *tableInfo, f expr.Expr) *plan.Node {
+	b, ok := f.(expr.Binary)
+	if !ok {
+		return nil
+	}
+	col, cok := b.L.(expr.ColRef)
+	lit, lok := b.R.(expr.Const)
+	if !cok || !lok || col.Table != ti.name || lit.V.IsNull() {
+		return nil
+	}
+	idx := o.cat.IndexOn(ti.name, col.Name)
+	if idx == nil {
+		return nil
+	}
+	scan := &plan.Node{
+		Op:    plan.OpIndexRange,
+		Table: ti.name,
+		Index: idx,
+		P:     o.params,
+		Props: plan.Props{Order: plan.ColOrder(col, false), Pipelined: true},
+	}
+	switch b.Op {
+	case expr.OpEq:
+		scan.RangeLo, scan.RangeHi = lit.V, lit.V
+		scan.HasLo, scan.HasHi = true, true
+	case expr.OpLt, expr.OpLe:
+		scan.RangeHi, scan.HasHi = lit.V, true
+	case expr.OpGt, expr.OpGe:
+		scan.RangeLo, scan.HasLo = lit.V, true
+	default:
+		return nil
+	}
+	scan.Card = math.Max(ti.rawCard*o.cat.FilterSelectivity(f), 1)
+	return o.wrapFilters(ti, scan)
+}
+
+// wrapFilters applies the table's filters above an access path.
+func (o *optimizer) wrapFilters(ti *tableInfo, scan *plan.Node) *plan.Node {
+	if len(ti.filters) == 0 {
+		return scan
+	}
+	f := &plan.Node{
+		Op:       plan.OpFilter,
+		Children: []*plan.Node{scan},
+		Pred:     expr.And(ti.filters...),
+		Card:     ti.card,
+		Sel:      ti.filtSel,
+		LSlab:    scan.LSlab,
+		P:        o.params,
+		Props:    scan.Props,
+	}
+	return f
+}
+
+// cheapBase returns the cheapest unordered access to the table (fresh node,
+// safe to wrap).
+func (o *optimizer) cheapBase(ti *tableInfo) *plan.Node {
+	return o.wrapFilters(ti, &plan.Node{
+		Op:    plan.OpSeqScan,
+		Table: ti.name,
+		Card:  ti.rawCard,
+		P:     o.params,
+		Props: plan.Props{Order: plan.NoOrder, Pipelined: true},
+	})
+}
+
+// sortWrap glues a sort enforcer producing the given order property.
+func (o *optimizer) sortWrap(p *plan.Node, keys []exec.SortKey, order plan.OrderProp) *plan.Node {
+	return &plan.Node{
+		Op:       plan.OpSort,
+		Children: []*plan.Node{p},
+		SortKeys: keys,
+		Card:     p.Card,
+		LSlab:    p.LSlab,
+		P:        o.params,
+		Props:    plan.Props{Order: order, Pipelined: false},
+	}
+}
+
+// enumerateJoins runs the bottom-up DP over table subsets, generating every
+// join alternative for every connected split of every subset.
+func (o *optimizer) enumerateJoins() {
+	n := len(o.tables)
+	full := o.fullMask()
+	for size := 2; size <= n; size++ {
+		for mask := uint64(1); mask <= full; mask++ {
+			if popcount(mask) != size {
+				continue
+			}
+			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+				rest := mask ^ sub
+				p1s, p2s := o.memo[sub], o.memo[rest]
+				if len(p1s) == 0 || len(p2s) == 0 {
+					continue
+				}
+				preds, s := o.selectivityBetween(sub, rest)
+				if len(preds) == 0 {
+					continue // no Cartesian products
+				}
+				o.joinSplit(mask, sub, rest, preds, s)
+			}
+		}
+	}
+}
+
+// joinSplit generates all join candidates for one ordered (sub, rest) split.
+func (o *optimizer) joinSplit(mask, sub, rest uint64, preds []logical.JoinPred, s float64) {
+	p1s, p2s := o.memo[sub], o.memo[rest]
+	rankedL := o.rankedOf(sub)
+	rankedR := o.rankedOf(rest)
+	bothRanked := len(rankedL) > 0 && len(rankedR) > 0
+
+	// INLJ: inner must be a single base table with an index on the primary
+	// join column; independent of inner subplans.
+	var innerTI *tableInfo
+	if popcount(rest) == 1 {
+		innerTI = o.byName[o.namesOf(rest)[0]]
+	}
+
+	for _, p1 := range p1s {
+		card := s * p1.Card
+		// INLJ generated once per outer plan.
+		if innerTI != nil {
+			if idx := o.cat.IndexOn(innerTI.name, preds[0].R.Name); idx != nil {
+				cand := &plan.Node{
+					Op:        plan.OpINLJ,
+					Children:  []*plan.Node{p1},
+					Table:     innerTI.name,
+					Index:     idx,
+					EqPreds:   preds,
+					Pred:      expr.And(innerTI.filters...),
+					Card:      card * innerTI.card,
+					Sel:       s * innerTI.filtSel,
+					InnerCard: innerTI.rawCard,
+					P:         o.params,
+					Props: plan.Props{
+						Order:     o.preserveOuter(p1.Props, rest),
+						Pipelined: p1.Props.Pipelined,
+					},
+				}
+				o.addPlan(mask, cand)
+			}
+		}
+
+		for _, p2 := range p2s {
+			jcard := math.Max(card*p2.Card, 1e-9)
+
+			// Nested loops (outer p1, inner p2 materialized).
+			o.addPlan(mask, &plan.Node{
+				Op:       plan.OpNLJ,
+				Children: []*plan.Node{p1, p2},
+				EqPreds:  preds,
+				Card:     jcard,
+				Sel:      s,
+				P:        o.params,
+				Props: plan.Props{
+					Order:     o.preserveOuter(p1.Props, rest),
+					Pipelined: p1.Props.Pipelined,
+				},
+			})
+
+			// Hash join (build p1, probe p2; probe order survives).
+			o.addPlan(mask, &plan.Node{
+				Op:       plan.OpHashJoin,
+				Children: []*plan.Node{p1, p2},
+				EqPreds:  preds,
+				Card:     jcard,
+				Sel:      s,
+				P:        o.params,
+				Props: plan.Props{
+					Order:     o.preserveOuter(p2.Props, sub),
+					Pipelined: p2.Props.Pipelined,
+				},
+			})
+
+			// Sort-merge join on the primary predicate, enforcing input
+			// sorts when the children lack them.
+			lOrd := plan.ColOrder(preds[0].L, false)
+			rOrd := plan.ColOrder(preds[0].R, false)
+			ml := p1
+			if !p1.Props.Order.Covers(lOrd) {
+				ml = o.sortWrap(p1, []exec.SortKey{{E: preds[0].L}}, lOrd)
+			}
+			mr := p2
+			if !p2.Props.Order.Covers(rOrd) {
+				mr = o.sortWrap(p2, []exec.SortKey{{E: preds[0].R}}, rOrd)
+			}
+			o.addPlan(mask, &plan.Node{
+				Op:       plan.OpMergeJoin,
+				Children: []*plan.Node{ml, mr},
+				EqPreds:  preds,
+				Card:     jcard,
+				Sel:      s,
+				P:        o.params,
+				Props: plan.Props{
+					Order:     lOrd,
+					Pipelined: ml.Props.Pipelined && mr.Props.Pipelined,
+				},
+			})
+
+			// Rank joins.
+			if o.rankAware() && bothRanked {
+				o.rankJoinCandidates(mask, sub, rest, p1, p2, preds, s, jcard)
+			}
+		}
+	}
+}
+
+// rankJoinCandidates emits HRJN and NRJN alternatives for a plan pair,
+// enforcing ranked input orders by glued sorts when allowed.
+func (o *optimizer) rankJoinCandidates(mask, sub, rest uint64, p1, p2 *plan.Node, preds []logical.JoinPred, s, jcard float64) {
+	lOrder, _ := o.rankOrderFor(sub)
+	rOrder, _ := o.rankOrderFor(rest)
+	lScore := o.scoreFor(sub)
+	rScore := o.scoreFor(rest)
+	rankedL := o.rankedOf(sub)
+	rankedR := o.rankedOf(rest)
+
+	rankedInput := func(p *plan.Node, ord plan.OrderProp, score expr.ScoreSum) *plan.Node {
+		if p.Props.Order.Covers(ord) {
+			return p
+		}
+		if o.opts.DisableEnforcedRankInputs {
+			return nil
+		}
+		return o.sortWrap(p, sortKeysByScore(score), ord)
+	}
+
+	outOrder, _ := o.rankOrderFor(mask)
+	mkNode := func(op plan.OpType, l, r *plan.Node) *plan.Node {
+		n := &plan.Node{
+			Op:       op,
+			Children: []*plan.Node{l, r},
+			EqPreds:  preds,
+			LScore:   lScore,
+			RScore:   rScore,
+			Strategy: o.opts.Strategy,
+			Card:     jcard,
+			Sel:      s,
+			LLeaves:  len(rankedL),
+			RLeaves:  len(rankedR),
+			BaseN:    o.geoMeanRankedCard(mask),
+			P:        o.params,
+		}
+		if len(rankedL) == 1 {
+			n.LSlab = rankedL[0].termSlab
+		}
+		if len(rankedR) == 1 {
+			n.RSlab = rankedR[0].termSlab
+		}
+		return n
+	}
+
+	// HRJN needs both inputs ranked.
+	if !o.opts.DisableHRJN {
+		l := rankedInput(p1, lOrder, lScore)
+		r := rankedInput(p2, rOrder, rScore)
+		if l != nil && r != nil {
+			n := mkNode(plan.OpHRJN, l, r)
+			n.Props = plan.Props{
+				Order:     outOrder,
+				Pipelined: l.Props.Pipelined && r.Props.Pipelined,
+			}
+			o.addPlan(mask, n)
+		}
+	}
+
+	// NRJN needs only the outer ranked; the inner is materialized. Only
+	// generate the natural-outer variant plus the enforced one.
+	if !o.opts.DisableNRJN {
+		l := rankedInput(p1, lOrder, lScore)
+		if l != nil {
+			n := mkNode(plan.OpNRJN, l, p2)
+			n.Props = plan.Props{
+				Order:     outOrder,
+				Pipelined: l.Props.Pipelined,
+			}
+			o.addPlan(mask, n)
+		}
+	}
+}
+
+// preserveOuter propagates an input's order property through an
+// order-preserving join: column orders on the streamed side survive; a rank
+// order survives only if the other side contributes no score terms.
+func (o *optimizer) preserveOuter(p plan.Props, otherMask uint64) plan.OrderProp {
+	switch p.Order.Kind {
+	case plan.OrderCol:
+		return p.Order
+	case plan.OrderRank:
+		if len(o.rankedOf(otherMask)) == 0 {
+			return p.Order
+		}
+	}
+	return plan.NoOrder
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+
+	"rankopt/internal/plan"
+)
+
+// costEps tolerates floating-point noise in cost comparisons.
+const costEps = 1e-9
+
+// addPlan inserts a candidate into a MEMO entry, applying the paper's
+// property + cost pruning: a plan is pruned iff another plan for the same
+// expression has properties at least as strong AND is at most as expensive
+// at every achievable k (Section 3.3). Existing plans dominated by the
+// candidate are evicted.
+func (o *optimizer) addPlan(mask uint64, cand *plan.Node) {
+	o.gen++
+	if o.opts.KeepAllPlans {
+		o.memo[mask] = append(o.memo[mask], cand)
+		return
+	}
+	plans := o.memo[mask]
+	for _, p := range plans {
+		if o.dominates(p, cand) {
+			return
+		}
+	}
+	kept := make([]*plan.Node, 0, len(plans)+1)
+	for _, p := range plans {
+		if !o.dominates(cand, p) {
+			kept = append(kept, p)
+		}
+	}
+	o.memo[mask] = append(kept, cand)
+}
+
+// dominates reports whether plan a makes plan b redundant. Properties must
+// dominate; costs are compared at the two ends of the achievable range of k
+// — kmin (the query's requested answer count, the least any subplan will be
+// asked for) and na (the subplan's full output). Because sort plans are
+// k-constant and rank plans grow monotonically in k, agreement at both
+// endpoints decides the whole range; disagreement is the paper's "keep both"
+// zone around the crossover k*.
+func (o *optimizer) dominates(a, b *plan.Node) bool {
+	pa, pb := a.Props, b.Props
+	if o.opts.DisablePipelineProtection {
+		pa.Pipelined, pb.Pipelined = true, true
+	}
+	if !pa.Dominates(pb) {
+		return false
+	}
+	na := math.Max(a.Card, b.Card)
+	if a.Cost(na) > b.Cost(na)+costEps {
+		return false
+	}
+	if o.kmin > 0 && o.kmin < na {
+		if a.Cost(o.kmin) > b.Cost(o.kmin)+costEps {
+			return false
+		}
+	}
+	return true
+}
+
+// CrossoverK computes k*, the number of requested results at which a
+// k-sensitive (rank-join) plan's cost overtakes a blocking plan's constant
+// cost (Figure 6). It returns 0 when the rank plan is never cheaper, and
+// na+1 when it is cheaper over the entire achievable range [1, na].
+func CrossoverK(sortPlan, rankPlan *plan.Node) float64 {
+	na := math.Max(rankPlan.Card, 1)
+	sortCost := sortPlan.TotalCost()
+	if rankPlan.Cost(1) >= sortCost {
+		return 0
+	}
+	if rankPlan.Cost(na) <= sortCost {
+		return na + 1
+	}
+	lo, hi := 1.0, na
+	for i := 0; i < 64 && hi-lo > 0.5; i++ {
+		mid := (lo + hi) / 2
+		if rankPlan.Cost(mid) < sortCost {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,108 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPages(t *testing.T) {
+	p := Default()
+	if p.Pages(0) != 0 || p.Pages(-5) != 0 {
+		t.Error("non-positive cards have 0 pages")
+	}
+	if p.Pages(1) != 1 || p.Pages(100) != 1 || p.Pages(101) != 2 {
+		t.Error("page rounding")
+	}
+}
+
+func TestSeqScan(t *testing.T) {
+	p := Default()
+	full := p.SeqScan(10000, 10000)
+	half := p.SeqScan(10000, 5000)
+	if half >= full {
+		t.Error("partial scan must be cheaper")
+	}
+	// Overshoot clamps.
+	if p.SeqScan(100, 1e9) != p.SeqScan(100, 100) {
+		t.Error("produced clamps to total")
+	}
+	if p.SeqScan(0, 10) != 0 {
+		t.Error("empty relation scans free")
+	}
+}
+
+func TestIndexScanClusteredCheaper(t *testing.T) {
+	p := Default()
+	if p.IndexScan(1000, true) >= p.IndexScan(1000, false) {
+		t.Error("clustered index scan must be cheaper")
+	}
+	if p.IndexScan(0, false) != 0 {
+		t.Error("zero tuples free")
+	}
+}
+
+func TestSortRegimes(t *testing.T) {
+	p := Default()
+	if p.Sort(1) != 0 || p.Sort(0) != 0 {
+		t.Error("trivial sorts free")
+	}
+	inMem := p.Sort(1000) // 10 pages < 256 buffer pages
+	if inMem <= 0 {
+		t.Error("in-memory sort should charge CPU")
+	}
+	big := p.Sort(1e6) // 10000 pages > buffer: external
+	if big <= p.Pages(1e6)*2*p.SeqPage {
+		t.Error("external sort must charge at least one read+write pass")
+	}
+	// Monotone in cardinality.
+	if p.Sort(2e6) <= big {
+		t.Error("sort cost monotone")
+	}
+}
+
+func TestJoinCostHelpers(t *testing.T) {
+	p := Default()
+	if p.IndexProbe(0) != p.RandPage {
+		t.Error("empty probe costs the traversal")
+	}
+	if p.HashBuild(1000) >= p.HashBuild(1e7) {
+		t.Error("hash build monotone")
+	}
+	small := p.HashBuild(100)
+	if small != 100*p.CPUCompare {
+		t.Error("in-memory build is CPU only")
+	}
+	if p.HashProbe(100, 10) <= 0 || p.MergeCPU(10, 10, 5) <= 0 {
+		t.Error("probe/merge positive")
+	}
+	if p.NestedLoopCPU(10, 20, 5) != 200*p.CPUCompare+5*p.CPUTuple {
+		t.Error("NL CPU formula")
+	}
+	if p.HeapPush(0, 100) != 0 {
+		t.Error("no ops, no heap cost")
+	}
+	if p.HeapPush(10, 1) <= 0 {
+		t.Error("heap size clamps to 2")
+	}
+}
+
+// Property: every cost is non-negative and monotone in the work amount.
+func TestCostsNonNegativeMonotone(t *testing.T) {
+	p := Default()
+	f := func(a, b uint16) bool {
+		x, y := float64(a), float64(a)+float64(b)
+		if p.SeqScan(1e6, x) < 0 || p.SeqScan(1e6, y) < p.SeqScan(1e6, x) {
+			return false
+		}
+		if p.IndexScan(y, false) < p.IndexScan(x, false) {
+			return false
+		}
+		if p.Sort(y) < p.Sort(x) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

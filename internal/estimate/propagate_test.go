@@ -1,0 +1,171 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPropagateTwoLevel(t *testing.T) {
+	// ((A ⋈ B) ⋈ C): the paper's Figure 4 pipeline shape. Depths must grow
+	// downward: the child join must deliver more results than the root k.
+	n, slab, s := 10000.0, 1.0/10000, 0.01
+	ab := Join(Leaf(n, slab), Leaf(n, slab), s)
+	root := Join(ab, Leaf(n, slab), s)
+	if err := Propagate(root, 100, ModeTopK); err != nil {
+		t.Fatal(err)
+	}
+	if root.K != 100 {
+		t.Fatalf("root.K = %v", root.K)
+	}
+	if root.DL <= 0 || root.DR <= 0 {
+		t.Errorf("root depths not computed: %v/%v", root.DL, root.DR)
+	}
+	// The any-k constraint holds at the root: s·cL·cR ≥ k.
+	if s*root.CL*root.CR < 100-1e-6 {
+		t.Errorf("any-k constraint violated at root: %v", s*root.CL*root.CR)
+	}
+	// The child's required k is the parent's left depth (Figure 4 semantics).
+	if ab.K != root.DL {
+		t.Errorf("child K = %v, want parent's DL %v", ab.K, root.DL)
+	}
+	// And the child's own depths exceed its required k in turn.
+	if ab.DL < ab.K || ab.DR < ab.K {
+		// For the base uniform case dL = 2 sqrt(k/s) which exceeds k while
+		// k < 4/s; with k ≈ hundreds and s = 0.01 this holds.
+		t.Errorf("grandchild depths %v/%v below child K %v", ab.DL, ab.DR, ab.K)
+	}
+}
+
+func TestPropagateLeafClamp(t *testing.T) {
+	// Tiny inputs: depths cannot exceed child cardinality.
+	ab := Join(Leaf(50, 0.02), Leaf(50, 0.02), 0.1)
+	if err := Propagate(ab, 1000, ModeTopK); err != nil {
+		t.Fatal(err)
+	}
+	if ab.DL > 50 || ab.DR > 50 {
+		t.Errorf("depths %v/%v exceed leaf cardinality", ab.DL, ab.DR)
+	}
+	// k itself clamps to the node's output cardinality (0.1·50·50 = 250).
+	if ab.K > 250 {
+		t.Errorf("K = %v not clamped to output cardinality", ab.K)
+	}
+}
+
+func TestPropagateModes(t *testing.T) {
+	n, slab, s := 100000.0, 1.0/100000, 0.001
+	build := func() *Node {
+		ab := Join(Leaf(n, slab), Leaf(n, slab), s)
+		return Join(ab, Leaf(n, slab), s)
+	}
+	topk, anyk, avg := build(), build(), build()
+	if err := Propagate(topk, 50, ModeTopK); err != nil {
+		t.Fatal(err)
+	}
+	if err := Propagate(anyk, 50, ModeAnyK); err != nil {
+		t.Fatal(err)
+	}
+	if err := Propagate(avg, 50, ModeAvg); err != nil {
+		t.Fatal(err)
+	}
+	// Any-k propagation digs shallower than top-k everywhere.
+	if anyk.CL > topk.DL || anyk.Left.K > topk.Left.K {
+		t.Errorf("any-k should be the lower series: %v vs %v", anyk.CL, topk.DL)
+	}
+	// Average sits at or below worst case.
+	if avg.DL > topk.DL*(1+1e-9) {
+		t.Errorf("avg DL %v above worst %v", avg.DL, topk.DL)
+	}
+}
+
+func TestPropagateErrors(t *testing.T) {
+	if err := Propagate(nil, 10, ModeTopK); err == nil {
+		t.Error("nil plan must fail")
+	}
+	leaf := Leaf(100, 0.01)
+	if err := Propagate(leaf, 0, ModeTopK); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if err := Propagate(leaf, 500, ModeTopK); err != nil {
+		t.Error("leaf propagate should clamp, not fail")
+	}
+	if leaf.K != 100 {
+		t.Errorf("leaf K = %v, want clamp to 100", leaf.K)
+	}
+	bad := Join(Leaf(100, 0.01), Leaf(100, 0.01), 0) // zero selectivity
+	if err := Propagate(bad, 10, ModeTopK); err == nil {
+		t.Error("zero selectivity must fail")
+	}
+}
+
+func TestLeftDeepShape(t *testing.T) {
+	root, err := LeftDeep(4, 1000, 0.001, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Leaves() != 4 {
+		t.Fatalf("leaves = %d", root.Leaves())
+	}
+	// Left-deep: right child is always a leaf.
+	cur := root
+	depth := 0
+	for !cur.IsLeaf() {
+		if !cur.Right.IsLeaf() {
+			t.Fatal("left-deep tree has non-leaf right child")
+		}
+		cur = cur.Left
+		depth++
+	}
+	if depth != 3 {
+		t.Fatalf("depth = %d", depth)
+	}
+	if _, err := LeftDeep(1, 10, 1, 0.1); err == nil {
+		t.Error("LeftDeep(1) must fail")
+	}
+}
+
+func TestBalancedShape(t *testing.T) {
+	root, err := Balanced(4, 1000, 0.001, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Leaves() != 4 {
+		t.Fatalf("leaves = %d", root.Leaves())
+	}
+	if root.Left.Leaves() != 2 || root.Right.Leaves() != 2 {
+		t.Fatal("tree not balanced")
+	}
+	if _, err := Balanced(3, 10, 1, 0.1); err == nil {
+		t.Error("non power of two must fail")
+	}
+}
+
+func TestOutCard(t *testing.T) {
+	ab := Join(Leaf(100, 1), Leaf(200, 1), 0.01)
+	if got := ab.OutCard(); math.Abs(got-200) > 1e-9 {
+		t.Errorf("OutCard = %v, want 200", got)
+	}
+	root := Join(ab, Leaf(50, 1), 0.1)
+	if got := root.OutCard(); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("OutCard = %v, want 1000", got)
+	}
+}
+
+// Propagate must agree with direct formula application at the root.
+func TestPropagateMatchesDirectFormula(t *testing.T) {
+	n, s := 50000.0, 0.005
+	ab := Join(Leaf(n, 0), Leaf(n, 0), s) // zero slabs force hierarchy path
+	root := Join(ab, Leaf(n, 0), s)
+	if err := Propagate(root, 200, ModeTopK); err != nil {
+		t.Fatal(err)
+	}
+	want, err := HierarchyWorst(200, s, 2, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root.DL-math.Min(want.DL, ab.OutCard())) > 1e-6 {
+		t.Errorf("root DL = %v, want %v", root.DL, want.DL)
+	}
+	if math.Abs(root.DR-math.Min(want.DR, n)) > 1e-6 {
+		t.Errorf("root DR = %v, want %v", root.DR, want.DR)
+	}
+}

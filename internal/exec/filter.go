@@ -1,0 +1,221 @@
+package exec
+
+import (
+	"fmt"
+
+	"rankopt/internal/expr"
+	"rankopt/internal/relation"
+)
+
+// Filter passes through tuples satisfying the predicate. NULL predicate
+// results drop the tuple (SQL semantics).
+type Filter struct {
+	In   Operator
+	Pred expr.Expr
+
+	ev expr.Eval
+}
+
+// NewFilter constructs a filter.
+func NewFilter(in Operator, pred expr.Expr) *Filter { return &Filter{In: in, Pred: pred} }
+
+// Schema implements Operator.
+func (f *Filter) Schema() *relation.Schema { return f.In.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error {
+	if err := f.In.Open(); err != nil {
+		return err
+	}
+	ev, err := f.Pred.Bind(f.In.Schema())
+	if err != nil {
+		return err
+	}
+	f.ev = ev
+	return nil
+}
+
+// Next implements Operator.
+func (f *Filter) Next() (relation.Tuple, bool, error) {
+	for {
+		t, ok, err := f.In.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		pass, err := expr.EvalBool(f.ev, t)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return t, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.In.Close() }
+
+// ProjectItem is one output column of a projection: an expression and the
+// name it is exposed under.
+type ProjectItem struct {
+	E    expr.Expr
+	As   string
+	Kind relation.Kind
+}
+
+// Project computes derived columns. The output schema qualifies columns with
+// an empty table name unless As contains a dot.
+type Project struct {
+	In    Operator
+	Items []ProjectItem
+
+	schema *relation.Schema
+	evals  []expr.Eval
+}
+
+// NewProject constructs a projection.
+func NewProject(in Operator, items ...ProjectItem) *Project {
+	cols := make([]relation.Column, len(items))
+	for i, it := range items {
+		cols[i] = relation.Column{Name: it.As, Kind: it.Kind}
+	}
+	return &Project{In: in, Items: items, schema: relation.NewSchema(cols...)}
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *relation.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *Project) Open() error {
+	if err := p.In.Open(); err != nil {
+		return err
+	}
+	p.evals = make([]expr.Eval, len(p.Items))
+	for i, it := range p.Items {
+		ev, err := it.E.Bind(p.In.Schema())
+		if err != nil {
+			return err
+		}
+		p.evals[i] = ev
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (p *Project) Next() (relation.Tuple, bool, error) {
+	t, ok, err := p.In.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(relation.Tuple, len(p.evals))
+	for i, ev := range p.evals {
+		v, err := ev(t)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.In.Close() }
+
+// Limit stops after K tuples — the top-k cut that makes rank plans early-out.
+type Limit struct {
+	In Operator
+	K  int
+
+	n int
+}
+
+// NewLimit constructs a limit.
+func NewLimit(in Operator, k int) *Limit { return &Limit{In: in, K: k} }
+
+// Schema implements Operator.
+func (l *Limit) Schema() *relation.Schema { return l.In.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open() error {
+	if l.K < 0 {
+		return fmt.Errorf("exec: negative limit %d", l.K)
+	}
+	l.n = 0
+	return l.In.Open()
+}
+
+// Next implements Operator.
+func (l *Limit) Next() (relation.Tuple, bool, error) {
+	if l.n >= l.K {
+		return nil, false, nil
+	}
+	t, ok, err := l.In.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.n++
+	return t, true, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.In.Close() }
+
+// RankAssign appends two columns to each input tuple: the combined score
+// under the given scoring expression and the 1-based rank position. It
+// assumes its input already arrives in descending score order (either from a
+// rank-join pipeline or from a sort enforcer), matching SQL's
+// rank() OVER (ORDER BY ...) for distinct scores.
+type RankAssign struct {
+	In    Operator
+	Score expr.Expr
+
+	schema *relation.Schema
+	ev     expr.Eval
+	rank   int64
+}
+
+// NewRankAssign constructs the rank annotator.
+func NewRankAssign(in Operator, score expr.Expr) *RankAssign {
+	cols := append(in.Schema().Columns(),
+		relation.Column{Name: "score", Kind: relation.KindFloat},
+		relation.Column{Name: "rank", Kind: relation.KindInt},
+	)
+	return &RankAssign{In: in, Score: score, schema: relation.NewSchema(cols...)}
+}
+
+// Schema implements Operator.
+func (r *RankAssign) Schema() *relation.Schema { return r.schema }
+
+// Open implements Operator.
+func (r *RankAssign) Open() error {
+	if err := r.In.Open(); err != nil {
+		return err
+	}
+	ev, err := r.Score.Bind(r.In.Schema())
+	if err != nil {
+		return err
+	}
+	r.ev = ev
+	r.rank = 0
+	return nil
+}
+
+// Next implements Operator.
+func (r *RankAssign) Next() (relation.Tuple, bool, error) {
+	t, ok, err := r.In.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	v, err := r.ev(t)
+	if err != nil {
+		return nil, false, err
+	}
+	r.rank++
+	out := make(relation.Tuple, 0, len(t)+2)
+	out = append(out, t...)
+	out = append(out, v, relation.Int(r.rank))
+	return out, true, nil
+}
+
+// Close implements Operator.
+func (r *RankAssign) Close() error { return r.In.Close() }

@@ -1,0 +1,645 @@
+package exec
+
+import (
+	"fmt"
+
+	"rankopt/internal/catalog"
+	"rankopt/internal/expr"
+	"rankopt/internal/relation"
+)
+
+// bindPred binds an optional predicate against a schema; nil predicates
+// become always-true evaluators.
+func bindPred(pred expr.Expr, sch *relation.Schema) (expr.Eval, error) {
+	if pred == nil {
+		return func(relation.Tuple) (relation.Value, error) {
+			return relation.Bool(true), nil
+		}, nil
+	}
+	return pred.Bind(sch)
+}
+
+// NestedLoopsJoin joins by looping the materialized inner per outer tuple.
+// It preserves the outer (left) input's order and is pipelined on the outer.
+type NestedLoopsJoin struct {
+	Left, Right Operator
+	Pred        expr.Expr
+
+	schema *relation.Schema
+	ev     expr.Eval
+	inner  []relation.Tuple
+	cur    relation.Tuple
+	ipos   int
+	done   bool
+}
+
+// NewNestedLoopsJoin constructs the join; Pred may be nil (cross product).
+func NewNestedLoopsJoin(left, right Operator, pred expr.Expr) *NestedLoopsJoin {
+	return &NestedLoopsJoin{
+		Left: left, Right: right, Pred: pred,
+		schema: left.Schema().Concat(right.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *NestedLoopsJoin) Schema() *relation.Schema { return j.schema }
+
+// Open implements Operator: materializes the inner input.
+func (j *NestedLoopsJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	inner, err := Collect(j.Right)
+	if err != nil {
+		return err
+	}
+	j.inner = inner
+	ev, err := bindPred(j.Pred, j.schema)
+	if err != nil {
+		return err
+	}
+	j.ev = ev
+	j.cur = nil
+	j.ipos = 0
+	j.done = false
+	return nil
+}
+
+// Next implements Operator.
+func (j *NestedLoopsJoin) Next() (relation.Tuple, bool, error) {
+	for {
+		if j.done {
+			return nil, false, nil
+		}
+		if j.cur == nil {
+			t, ok, err := j.Left.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.done = true
+				return nil, false, nil
+			}
+			j.cur = t
+			j.ipos = 0
+		}
+		for j.ipos < len(j.inner) {
+			out := j.cur.Concat(j.inner[j.ipos])
+			j.ipos++
+			pass, err := expr.EvalBool(j.ev, out)
+			if err != nil {
+				return nil, false, err
+			}
+			if pass {
+				return out, true, nil
+			}
+		}
+		j.cur = nil
+	}
+}
+
+// Close implements Operator.
+func (j *NestedLoopsJoin) Close() error {
+	j.inner = nil
+	return j.Left.Close()
+}
+
+// IndexNLJoin joins by probing a B+tree index on the inner relation per
+// outer tuple. It preserves the outer order and is fully pipelined.
+type IndexNLJoin struct {
+	Left     Operator
+	InnerRel *relation.Relation
+	InnerIdx *catalog.Index
+	// OuterKey evaluates the join key from an outer tuple.
+	OuterKey expr.Expr
+	// Residual is an optional extra predicate over the joined tuple.
+	Residual expr.Expr
+
+	schema  *relation.Schema
+	keyEv   expr.Eval
+	resEv   expr.Eval
+	cur     relation.Tuple
+	matches []int
+	mpos    int
+	done    bool
+	// Probes counts index lookups, for cost validation.
+	Probes int
+}
+
+// NewIndexNLJoin constructs the join.
+func NewIndexNLJoin(left Operator, innerRel *relation.Relation, innerIdx *catalog.Index, outerKey, residual expr.Expr) *IndexNLJoin {
+	return &IndexNLJoin{
+		Left: left, InnerRel: innerRel, InnerIdx: innerIdx,
+		OuterKey: outerKey, Residual: residual,
+		schema: left.Schema().Concat(innerRel.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *IndexNLJoin) Schema() *relation.Schema { return j.schema }
+
+// Open implements Operator.
+func (j *IndexNLJoin) Open() error {
+	if j.InnerIdx == nil || j.InnerIdx.Tree == nil {
+		return fmt.Errorf("exec: index nested-loops join without inner index")
+	}
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	keyEv, err := j.OuterKey.Bind(j.Left.Schema())
+	if err != nil {
+		return err
+	}
+	resEv, err := bindPred(j.Residual, j.schema)
+	if err != nil {
+		return err
+	}
+	j.keyEv, j.resEv = keyEv, resEv
+	j.cur = nil
+	j.done = false
+	j.Probes = 0
+	return nil
+}
+
+// Next implements Operator.
+func (j *IndexNLJoin) Next() (relation.Tuple, bool, error) {
+	for {
+		if j.done {
+			return nil, false, nil
+		}
+		if j.cur == nil {
+			t, ok, err := j.Left.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.done = true
+				return nil, false, nil
+			}
+			key, err := j.keyEv(t)
+			if err != nil {
+				return nil, false, err
+			}
+			j.cur = t
+			j.mpos = 0
+			j.Probes++
+			if key.IsNull() {
+				j.matches = nil
+			} else {
+				j.matches = j.InnerIdx.Tree.Lookup(key)
+			}
+		}
+		for j.mpos < len(j.matches) {
+			rid := j.matches[j.mpos]
+			j.mpos++
+			out := j.cur.Concat(j.InnerRel.Tuple(rid))
+			pass, err := expr.EvalBool(j.resEv, out)
+			if err != nil {
+				return nil, false, err
+			}
+			if pass {
+				return out, true, nil
+			}
+		}
+		j.cur = nil
+	}
+}
+
+// Close implements Operator.
+func (j *IndexNLJoin) Close() error { return j.Left.Close() }
+
+// HashJoin builds a hash table on the left input and streams the right
+// input through it. It preserves the right (probe) input's order.
+type HashJoin struct {
+	Left, Right Operator
+	// LeftKey and RightKey are the equi-join key expressions on each side.
+	LeftKey, RightKey expr.Expr
+	// Residual is an optional extra predicate over the joined tuple.
+	Residual expr.Expr
+
+	schema  *relation.Schema
+	table   map[any][]relation.Tuple
+	rKeyEv  expr.Eval
+	resEv   expr.Eval
+	cur     relation.Tuple
+	matches []relation.Tuple
+	mpos    int
+	done    bool
+	// MaxTable records the build-table tuple count for buffer accounting.
+	MaxTable int
+}
+
+// NewHashJoin constructs the join.
+func NewHashJoin(left, right Operator, leftKey, rightKey, residual expr.Expr) *HashJoin {
+	return &HashJoin{
+		Left: left, Right: right, LeftKey: leftKey, RightKey: rightKey, Residual: residual,
+		schema: left.Schema().Concat(right.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() *relation.Schema { return j.schema }
+
+// Open implements Operator: drains the left input into the hash table.
+func (j *HashJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	lKeyEv, err := j.LeftKey.Bind(j.Left.Schema())
+	if err != nil {
+		return err
+	}
+	j.table = map[any][]relation.Tuple{}
+	n := 0
+	for {
+		t, ok, err := j.Left.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k, err := lKeyEv(t)
+		if err != nil {
+			return err
+		}
+		if k.IsNull() {
+			continue
+		}
+		j.table[k.HashKey()] = append(j.table[k.HashKey()], t)
+		n++
+	}
+	j.MaxTable = n
+	if err := j.Left.Close(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	rKeyEv, err := j.RightKey.Bind(j.Right.Schema())
+	if err != nil {
+		return err
+	}
+	resEv, err := bindPred(j.Residual, j.schema)
+	if err != nil {
+		return err
+	}
+	j.rKeyEv, j.resEv = rKeyEv, resEv
+	j.cur = nil
+	j.done = false
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (relation.Tuple, bool, error) {
+	for {
+		if j.done {
+			return nil, false, nil
+		}
+		if j.cur == nil {
+			t, ok, err := j.Right.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.done = true
+				return nil, false, nil
+			}
+			k, err := j.rKeyEv(t)
+			if err != nil {
+				return nil, false, err
+			}
+			j.cur = t
+			j.mpos = 0
+			if k.IsNull() {
+				j.matches = nil
+			} else {
+				j.matches = j.table[k.HashKey()]
+			}
+		}
+		for j.mpos < len(j.matches) {
+			out := j.matches[j.mpos].Concat(j.cur)
+			j.mpos++
+			pass, err := expr.EvalBool(j.resEv, out)
+			if err != nil {
+				return nil, false, err
+			}
+			if pass {
+				return out, true, nil
+			}
+		}
+		j.cur = nil
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	return j.Right.Close()
+}
+
+// SortMergeJoin merges two inputs sorted ascending on their join keys.
+// Inputs MUST already be ordered; the optimizer inserts Sort enforcers when
+// they are not.
+type SortMergeJoin struct {
+	Left, Right       Operator
+	LeftKey, RightKey expr.Expr
+	Residual          expr.Expr
+
+	schema *relation.Schema
+	lKeyEv expr.Eval
+	rKeyEv expr.Eval
+	resEv  expr.Eval
+
+	lTup, rTup relation.Tuple
+	lKey, rKey relation.Value
+	lDone      bool
+	rDone      bool
+	group      []relation.Tuple // right tuples sharing the current key
+	gpos       int
+	emitting   bool
+}
+
+// NewSortMergeJoin constructs the join.
+func NewSortMergeJoin(left, right Operator, leftKey, rightKey, residual expr.Expr) *SortMergeJoin {
+	return &SortMergeJoin{
+		Left: left, Right: right, LeftKey: leftKey, RightKey: rightKey, Residual: residual,
+		schema: left.Schema().Concat(right.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *SortMergeJoin) Schema() *relation.Schema { return j.schema }
+
+// Open implements Operator.
+func (j *SortMergeJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	var err error
+	if j.lKeyEv, err = j.LeftKey.Bind(j.Left.Schema()); err != nil {
+		return err
+	}
+	if j.rKeyEv, err = j.RightKey.Bind(j.Right.Schema()); err != nil {
+		return err
+	}
+	if j.resEv, err = bindPred(j.Residual, j.schema); err != nil {
+		return err
+	}
+	j.lTup, j.rTup = nil, nil
+	j.lDone, j.rDone = false, false
+	j.group = nil
+	j.emitting = false
+	if err := j.advanceLeft(); err != nil {
+		return err
+	}
+	return j.advanceRight()
+}
+
+func (j *SortMergeJoin) advanceLeft() error {
+	t, ok, err := j.Left.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		j.lDone = true
+		j.lTup = nil
+		return nil
+	}
+	k, err := j.lKeyEv(t)
+	if err != nil {
+		return err
+	}
+	j.lTup, j.lKey = t, k
+	return nil
+}
+
+func (j *SortMergeJoin) advanceRight() error {
+	t, ok, err := j.Right.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		j.rDone = true
+		j.rTup = nil
+		return nil
+	}
+	k, err := j.rKeyEv(t)
+	if err != nil {
+		return err
+	}
+	j.rTup, j.rKey = t, k
+	return nil
+}
+
+// Next implements Operator.
+func (j *SortMergeJoin) Next() (relation.Tuple, bool, error) {
+	for {
+		// Emit pending (left, group) combinations.
+		if j.emitting {
+			for j.gpos < len(j.group) {
+				out := j.lTup.Concat(j.group[j.gpos])
+				j.gpos++
+				pass, err := expr.EvalBool(j.resEv, out)
+				if err != nil {
+					return nil, false, err
+				}
+				if pass {
+					return out, true, nil
+				}
+			}
+			// Move to next left tuple; if it shares the key, re-emit group.
+			prev := j.lKey
+			if err := j.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+			if !j.lDone && j.lKey.Equal(prev) {
+				j.gpos = 0
+				continue
+			}
+			j.emitting = false
+			j.group = nil
+		}
+		if j.lDone || j.rDone {
+			return nil, false, nil
+		}
+		cmp := j.lKey.Compare(j.rKey)
+		switch {
+		case cmp < 0:
+			if err := j.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+		case cmp > 0:
+			if err := j.advanceRight(); err != nil {
+				return nil, false, err
+			}
+		default:
+			// Gather the right group for this key.
+			key := j.rKey
+			j.group = j.group[:0]
+			for !j.rDone && j.rKey.Equal(key) {
+				j.group = append(j.group, j.rTup)
+				if err := j.advanceRight(); err != nil {
+					return nil, false, err
+				}
+			}
+			j.gpos = 0
+			j.emitting = true
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *SortMergeJoin) Close() error {
+	err1 := j.Left.Close()
+	err2 := j.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// SymmetricHashJoin pulls from both inputs alternately, maintaining a hash
+// table per side, and emits matches as soon as both partners have arrived.
+// It is fully pipelined on both inputs but gives no order guarantee; HRJN is
+// its rank-aware extension.
+type SymmetricHashJoin struct {
+	Left, Right       Operator
+	LeftKey, RightKey expr.Expr
+	Residual          expr.Expr
+
+	schema *relation.Schema
+	lKeyEv expr.Eval
+	rKeyEv expr.Eval
+	resEv  expr.Eval
+
+	lTable, rTable map[any][]relation.Tuple
+	lDone, rDone   bool
+	pullLeft       bool
+	pending        []relation.Tuple
+}
+
+// NewSymmetricHashJoin constructs the join.
+func NewSymmetricHashJoin(left, right Operator, leftKey, rightKey, residual expr.Expr) *SymmetricHashJoin {
+	return &SymmetricHashJoin{
+		Left: left, Right: right, LeftKey: leftKey, RightKey: rightKey, Residual: residual,
+		schema: left.Schema().Concat(right.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *SymmetricHashJoin) Schema() *relation.Schema { return j.schema }
+
+// Open implements Operator.
+func (j *SymmetricHashJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	var err error
+	if j.lKeyEv, err = j.LeftKey.Bind(j.Left.Schema()); err != nil {
+		return err
+	}
+	if j.rKeyEv, err = j.RightKey.Bind(j.Right.Schema()); err != nil {
+		return err
+	}
+	if j.resEv, err = bindPred(j.Residual, j.schema); err != nil {
+		return err
+	}
+	j.lTable = map[any][]relation.Tuple{}
+	j.rTable = map[any][]relation.Tuple{}
+	j.lDone, j.rDone = false, false
+	j.pullLeft = true
+	j.pending = nil
+	return nil
+}
+
+// step pulls one tuple from the chosen side and queues any new matches.
+func (j *SymmetricHashJoin) step(left bool) error {
+	var (
+		in       Operator
+		keyEv    expr.Eval
+		own      map[any][]relation.Tuple
+		other    map[any][]relation.Tuple
+		doneFlag *bool
+	)
+	if left {
+		in, keyEv, own, other, doneFlag = j.Left, j.lKeyEv, j.lTable, j.rTable, &j.lDone
+	} else {
+		in, keyEv, own, other, doneFlag = j.Right, j.rKeyEv, j.rTable, j.lTable, &j.rDone
+	}
+	t, ok, err := in.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		*doneFlag = true
+		return nil
+	}
+	k, err := keyEv(t)
+	if err != nil {
+		return err
+	}
+	if k.IsNull() {
+		return nil
+	}
+	hk := k.HashKey()
+	own[hk] = append(own[hk], t)
+	for _, m := range other[hk] {
+		var out relation.Tuple
+		if left {
+			out = t.Concat(m)
+		} else {
+			out = m.Concat(t)
+		}
+		pass, err := expr.EvalBool(j.resEv, out)
+		if err != nil {
+			return err
+		}
+		if pass {
+			j.pending = append(j.pending, out)
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (j *SymmetricHashJoin) Next() (relation.Tuple, bool, error) {
+	for {
+		if len(j.pending) > 0 {
+			t := j.pending[0]
+			j.pending = j.pending[1:]
+			return t, true, nil
+		}
+		if j.lDone && j.rDone {
+			return nil, false, nil
+		}
+		// Alternate, falling back to whichever side remains.
+		side := j.pullLeft
+		if j.lDone {
+			side = false
+		} else if j.rDone {
+			side = true
+		}
+		j.pullLeft = !j.pullLeft
+		if err := j.step(side); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *SymmetricHashJoin) Close() error {
+	j.lTable, j.rTable = nil, nil
+	err1 := j.Left.Close()
+	err2 := j.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -1,0 +1,207 @@
+package exec
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"rankopt/internal/expr"
+	"rankopt/internal/relation"
+	"rankopt/internal/workload"
+)
+
+// multiFixture builds m ranked relations and the operator inputs.
+func multiFixture(t *testing.T, m, n int, sel float64, seed int64) ([]*relation.Relation, *MultiHRJN) {
+	t.Helper()
+	rels := make([]*relation.Relation, m)
+	inputs := make([]Operator, m)
+	scores := make([]expr.Expr, m)
+	keys := make([]expr.Expr, m)
+	for i := 0; i < m; i++ {
+		name := string(rune('A' + i))
+		rels[i] = workload.Ranked(workload.RankedConfig{
+			Name: name, N: n, Selectivity: sel, Seed: seed + int64(i),
+		})
+		inputs[i] = rankedScan(rels[i])
+		scores[i] = expr.Col(name, "score")
+		keys[i] = expr.Col(name, "key")
+	}
+	j, err := NewMultiHRJN(inputs, scores, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rels, j
+}
+
+// refMultiTopK brute-forces the top-k combined scores of the m-way
+// equi-join on key.
+func refMultiTopK(rels []*relation.Relation, k int) []float64 {
+	// Bucket by key per relation.
+	buckets := make([]map[int64][]float64, len(rels))
+	for i, r := range rels {
+		buckets[i] = map[int64][]float64{}
+		for _, tup := range r.Tuples() {
+			key := tup[1].AsInt()
+			buckets[i][key] = append(buckets[i][key], tup[2].AsFloat())
+		}
+	}
+	var scores []float64
+	var cross func(key int64, slot int, acc float64)
+	cross = func(key int64, slot int, acc float64) {
+		if slot == len(rels) {
+			scores = append(scores, acc)
+			return
+		}
+		for _, s := range buckets[slot][key] {
+			cross(key, slot+1, acc+s)
+		}
+	}
+	for key, s0s := range buckets[0] {
+		for _, s0 := range s0s {
+			cross(key, 1, s0)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	if len(scores) > k {
+		scores = scores[:k]
+	}
+	return scores
+}
+
+func combinedScoreM(tup relation.Tuple, m int) float64 {
+	// Each input contributes 3 columns (id, key, score); score at offset 2.
+	total := 0.0
+	for i := 0; i < m; i++ {
+		total += tup[i*3+2].AsFloat()
+	}
+	return total
+}
+
+func TestMultiHRJNTopKMatchesReference(t *testing.T) {
+	for _, m := range []int{2, 3, 4} {
+		rels, j := multiFixture(t, m, 250, 0.05, 900+int64(m))
+		k := 12
+		got, err := CollectK(j, k)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		want := refMultiTopK(rels, k)
+		if len(got) != len(want) {
+			t.Fatalf("m=%d: %d results, want %d", m, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(combinedScoreM(got[i], m)-want[i]) > 1e-9 {
+				t.Fatalf("m=%d rank %d: %v, want %v", m, i, combinedScoreM(got[i], m), want[i])
+			}
+		}
+	}
+}
+
+func TestMultiHRJNOutputOrdered(t *testing.T) {
+	_, j := multiFixture(t, 3, 300, 0.05, 950)
+	got, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, tup := range got {
+		s := combinedScoreM(tup, 3)
+		if s > prev+1e-9 {
+			t.Fatal("MultiHRJN output not descending")
+		}
+		prev = s
+	}
+}
+
+func TestMultiHRJNEarlyOut(t *testing.T) {
+	_, j := multiFixture(t, 3, 4000, 0.02, 970)
+	if _, err := CollectK(j, 5); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range j.Depths() {
+		if d == 0 || d >= 4000 {
+			t.Fatalf("input %d depth %d: no early-out", i, d)
+		}
+	}
+	if j.MaxQueue() == 0 {
+		t.Error("queue high-water not recorded")
+	}
+}
+
+func TestMultiHRJNAgreesWithBinaryTree(t *testing.T) {
+	rels, j := multiFixture(t, 3, 300, 0.05, 990)
+	k := 15
+	got, err := CollectK(j, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binary composition: HRJN(HRJN(A,B),C).
+	ab := NewHRJN(rankedScan(rels[0]), rankedScan(rels[1]),
+		expr.Col("A", "score"), expr.Col("B", "score"),
+		expr.Col("A", "key"), expr.Col("B", "key"), nil)
+	top := NewHRJN(ab, rankedScan(rels[2]),
+		expr.Sum(
+			expr.ScoreTerm{Weight: 1, E: expr.Col("A", "score")},
+			expr.ScoreTerm{Weight: 1, E: expr.Col("B", "score")},
+		),
+		expr.Col("C", "score"),
+		expr.Col("A", "key"), expr.Col("C", "key"), nil)
+	want, err := CollectK(top, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("m-way %d results, binary %d", len(got), len(want))
+	}
+	for i := range want {
+		ws := want[i][2].AsFloat() + want[i][5].AsFloat() + want[i][8].AsFloat()
+		if math.Abs(combinedScoreM(got[i], 3)-ws) > 1e-9 {
+			t.Fatalf("rank %d: m-way %v vs binary %v", i, combinedScoreM(got[i], 3), ws)
+		}
+	}
+}
+
+func TestMultiHRJNValidation(t *testing.T) {
+	rel := workload.Ranked(workload.RankedConfig{Name: "A", N: 10, Selectivity: 0.5, Seed: 1})
+	if _, err := NewMultiHRJN([]Operator{rankedScan(rel)},
+		[]expr.Expr{expr.Col("A", "score")}, []expr.Expr{expr.Col("A", "key")}); err == nil {
+		t.Error("single input must be rejected")
+	}
+	if _, err := NewMultiHRJN(
+		[]Operator{rankedScan(rel), rankedScan(rel)},
+		[]expr.Expr{expr.Col("A", "score")},
+		[]expr.Expr{expr.Col("A", "key"), expr.Col("A", "key")}); err == nil {
+		t.Error("arity mismatch must be rejected")
+	}
+}
+
+func TestMultiHRJNContractViolation(t *testing.T) {
+	a := makeRel("A", [][3]float64{{0, 1, 0.1}, {1, 1, 0.9}}) // ascending
+	b := makeRel("B", [][3]float64{{0, 1, 0.5}})
+	j, err := NewMultiHRJN(
+		[]Operator{NewSeqScan(a), rankedScan(b)},
+		[]expr.Expr{expr.Col("A", "score"), expr.Col("B", "score")},
+		[]expr.Expr{expr.Col("A", "key"), expr.Col("B", "key")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(j); err == nil {
+		t.Fatal("unordered input must be detected")
+	}
+}
+
+func TestMultiHRJNEmptyInput(t *testing.T) {
+	a := makeRel("A", [][3]float64{{0, 1, 0.5}})
+	b := makeRel("B", nil)
+	j, err := NewMultiHRJN(
+		[]Operator{rankedScan(a), rankedScan(b)},
+		[]expr.Expr{expr.Col("A", "score"), expr.Col("B", "score")},
+		[]expr.Expr{expr.Col("A", "key"), expr.Col("B", "key")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(j)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty input join = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package exec implements the engine's physical operators in the Volcano
+// (iterator) style: every operator exposes Open/Next/Close and produces
+// tuples of a fixed schema. The package contains the classic relational
+// operators (scans, filter, project, sort, limit, nested-loops / index /
+// sort-merge / hash / symmetric-hash joins) and the paper's rank-join
+// operators HRJN and NRJN, instrumented so experiments can measure the
+// depths (input cardinalities) and buffer sizes the optimizer estimates.
+package exec
+
+import (
+	"fmt"
+
+	"rankopt/internal/relation"
+)
+
+// Operator is the Volcano iterator contract. Implementations must tolerate
+// Close after partial consumption (rank plans stop early by design).
+type Operator interface {
+	// Schema describes the tuples produced by Next.
+	Schema() *relation.Schema
+	// Open prepares the operator (recursively opening children).
+	Open() error
+	// Next returns the next tuple; ok=false signals exhaustion.
+	Next() (t relation.Tuple, ok bool, err error)
+	// Close releases resources (recursively closing children).
+	Close() error
+}
+
+// Collect opens op, drains it, closes it, and returns all produced tuples.
+func Collect(op Operator) ([]relation.Tuple, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	var out []relation.Tuple
+	for {
+		t, ok, err := op.Next()
+		if err != nil {
+			_ = op.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CollectK opens op, pulls at most k tuples, closes it.
+func CollectK(op Operator, k int) ([]relation.Tuple, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	var out []relation.Tuple
+	for len(out) < k {
+		t, ok, err := op.Next()
+		if err != nil {
+			_ = op.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Counter wraps an operator and counts the tuples pulled through it. The
+// experiment harness uses counters to measure operator depths (the number of
+// input tuples a rank-join consumed).
+type Counter struct {
+	In    Operator
+	count int
+}
+
+// NewCounter wraps in.
+func NewCounter(in Operator) *Counter { return &Counter{In: in} }
+
+// Schema implements Operator.
+func (c *Counter) Schema() *relation.Schema { return c.In.Schema() }
+
+// Open implements Operator; it resets the count.
+func (c *Counter) Open() error {
+	c.count = 0
+	return c.In.Open()
+}
+
+// Next implements Operator.
+func (c *Counter) Next() (relation.Tuple, bool, error) {
+	t, ok, err := c.In.Next()
+	if ok {
+		c.count++
+	}
+	return t, ok, err
+}
+
+// Close implements Operator.
+func (c *Counter) Close() error { return c.In.Close() }
+
+// Count returns the number of tuples pulled since Open.
+func (c *Counter) Count() int { return c.count }
+
+// errOp is a degenerate operator that fails on Open; useful in tests.
+type errOp struct{ err error }
+
+// ErrOperator returns an operator whose Open fails with message msg.
+func ErrOperator(msg string) Operator { return errOp{fmt.Errorf("%s", msg)} }
+
+func (e errOp) Schema() *relation.Schema            { return relation.NewSchema() }
+func (e errOp) Open() error                         { return e.err }
+func (e errOp) Next() (relation.Tuple, bool, error) { return nil, false, e.err }
+func (e errOp) Close() error                        { return nil }
+
+// sliceOp replays a fixed tuple slice; the building block for materialized
+// inputs and for tests.
+type sliceOp struct {
+	schema *relation.Schema
+	tuples []relation.Tuple
+	pos    int
+}
+
+// FromTuples returns an operator producing the given tuples.
+func FromTuples(schema *relation.Schema, tuples []relation.Tuple) Operator {
+	return &sliceOp{schema: schema, tuples: tuples}
+}
+
+func (s *sliceOp) Schema() *relation.Schema { return s.schema }
+func (s *sliceOp) Open() error              { s.pos = 0; return nil }
+func (s *sliceOp) Close() error             { return nil }
+
+func (s *sliceOp) Next() (relation.Tuple, bool, error) {
+	if s.pos >= len(s.tuples) {
+		return nil, false, nil
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	return t, true, nil
+}

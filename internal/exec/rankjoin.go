@@ -1,0 +1,513 @@
+package exec
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"rankopt/internal/expr"
+	"rankopt/internal/relation"
+)
+
+// scoreEps absorbs floating-point noise when comparing combined scores
+// against the threshold.
+const scoreEps = 1e-9
+
+// PullStrategy selects which input an HRJN polls next.
+type PullStrategy uint8
+
+const (
+	// Alternate strictly alternates between the two inputs.
+	Alternate PullStrategy = iota
+	// Adaptive pulls from the input under the dominating threshold term
+	// (threshold = max(topL+lastR, lastL+topR)): only that pull can lower
+	// the bound, which pays off when score distributions differ.
+	Adaptive
+)
+
+// RankJoinStats captures the measured quantities the paper's Section 5
+// experiments report: the depth reached into each input, the high-water mark
+// of the output priority queue (the operator's ranking buffer), and the
+// number of results emitted.
+type RankJoinStats struct {
+	LeftDepth  int
+	RightDepth int
+	MaxQueue   int
+	Emitted    int
+}
+
+// StatsReporter is implemented by operators that measure their input depths
+// and ranking-buffer usage (HRJN and NRJN); the experiment harness and the
+// CLI use it to compare measurements with the optimizer's estimates.
+type StatsReporter interface {
+	Stats() RankJoinStats
+}
+
+// rankItem is a scored join result awaiting release from the priority queue.
+type rankItem struct {
+	score float64
+	seq   int
+	tuple relation.Tuple
+}
+
+// rankQueue is a max-heap on score with FIFO tie-breaking for determinism.
+type rankQueue []rankItem
+
+func (q rankQueue) Len() int { return len(q) }
+func (q rankQueue) Less(i, j int) bool {
+	if q[i].score != q[j].score {
+		return q[i].score > q[j].score
+	}
+	return q[i].seq < q[j].seq
+}
+func (q rankQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *rankQueue) Push(x any)   { *q = append(*q, x.(rankItem)) }
+func (q *rankQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// HRJN is the hash rank-join operator: a symmetric hash join whose output is
+// released in descending combined-score order using the rank-aggregation
+// threshold. Both inputs must arrive in descending order of their score
+// expressions; the operator verifies this contract and fails loudly when it
+// is violated. The combined score is LeftScore + RightScore (the monotone
+// linear combining function of the paper — weights live inside the
+// expressions).
+type HRJN struct {
+	Left, Right Operator
+	// LeftScore and RightScore evaluate each input's score contribution.
+	LeftScore, RightScore expr.Expr
+	// LeftKey and RightKey are the equi-join key expressions.
+	LeftKey, RightKey expr.Expr
+	// Residual is an optional extra join predicate.
+	Residual expr.Expr
+	// Strategy selects the polling policy (default Alternate).
+	Strategy PullStrategy
+
+	schema                     *relation.Schema
+	lScore, rScore, lKey, rKey expr.Eval
+	resEv                      expr.Eval
+
+	lTable, rTable map[any][]scored
+	pq             rankQueue
+	seq            int
+
+	topL, lastL  float64
+	topR, lastR  float64
+	lSeen, rSeen int
+	lDone, rDone bool
+	pullLeft     bool
+
+	stats RankJoinStats
+}
+
+// scored pairs a tuple with its input score so probes avoid re-evaluation.
+type scored struct {
+	t relation.Tuple
+	s float64
+}
+
+// NewHRJN constructs the operator.
+func NewHRJN(left, right Operator, leftScore, rightScore, leftKey, rightKey, residual expr.Expr) *HRJN {
+	return &HRJN{
+		Left: left, Right: right,
+		LeftScore: leftScore, RightScore: rightScore,
+		LeftKey: leftKey, RightKey: rightKey, Residual: residual,
+		schema: left.Schema().Concat(right.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *HRJN) Schema() *relation.Schema { return j.schema }
+
+// Stats returns the measured depths and buffer high-water mark.
+func (j *HRJN) Stats() RankJoinStats { return j.stats }
+
+// Open implements Operator.
+func (j *HRJN) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	var err error
+	if j.lScore, err = j.LeftScore.Bind(j.Left.Schema()); err != nil {
+		return err
+	}
+	if j.rScore, err = j.RightScore.Bind(j.Right.Schema()); err != nil {
+		return err
+	}
+	if j.lKey, err = j.LeftKey.Bind(j.Left.Schema()); err != nil {
+		return err
+	}
+	if j.rKey, err = j.RightKey.Bind(j.Right.Schema()); err != nil {
+		return err
+	}
+	if j.resEv, err = bindPred(j.Residual, j.schema); err != nil {
+		return err
+	}
+	j.lTable = map[any][]scored{}
+	j.rTable = map[any][]scored{}
+	j.pq = j.pq[:0]
+	j.seq = 0
+	j.lSeen, j.rSeen = 0, 0
+	j.lDone, j.rDone = false, false
+	j.pullLeft = true
+	j.stats = RankJoinStats{}
+	return nil
+}
+
+// threshold upper-bounds the combined score of every join result not yet in
+// the priority queue.
+func (j *HRJN) threshold() float64 {
+	switch {
+	case j.lSeen == 0 || j.rSeen == 0:
+		// Cannot bound anything before seeing one tuple per input.
+		return math.Inf(1)
+	case j.lDone && j.rDone:
+		return math.Inf(-1)
+	case j.lDone:
+		// Only (seen L, new R) combinations remain unseen.
+		return j.topL + j.lastR
+	case j.rDone:
+		return j.lastL + j.topR
+	default:
+		t1 := j.topL + j.lastR
+		t2 := j.lastL + j.topR
+		return math.Max(t1, t2)
+	}
+}
+
+// pull consumes one tuple from the chosen side, updating state and queueing
+// any new join results.
+func (j *HRJN) pull(left bool) error {
+	var in Operator
+	if left {
+		in = j.Left
+	} else {
+		in = j.Right
+	}
+	t, ok, err := in.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		if left {
+			j.lDone = true
+		} else {
+			j.rDone = true
+		}
+		return nil
+	}
+	var s relation.Value
+	if left {
+		s, err = j.lScore(t)
+	} else {
+		s, err = j.rScore(t)
+	}
+	if err != nil {
+		return err
+	}
+	if s.IsNull() {
+		// NULL scores cannot participate in ranking; drop the tuple.
+		return nil
+	}
+	sc := s.AsFloat()
+	var k relation.Value
+	if left {
+		k, err = j.lKey(t)
+	} else {
+		k, err = j.rKey(t)
+	}
+	if err != nil {
+		return err
+	}
+	if left {
+		if j.lSeen == 0 {
+			j.topL = sc
+		} else if sc > j.lastL+scoreEps {
+			return fmt.Errorf("exec: HRJN left input violated descending-score contract (%v after %v)", sc, j.lastL)
+		}
+		j.lastL = sc
+		j.lSeen++
+		j.stats.LeftDepth = j.lSeen
+	} else {
+		if j.rSeen == 0 {
+			j.topR = sc
+		} else if sc > j.lastR+scoreEps {
+			return fmt.Errorf("exec: HRJN right input violated descending-score contract (%v after %v)", sc, j.lastR)
+		}
+		j.lastR = sc
+		j.rSeen++
+		j.stats.RightDepth = j.rSeen
+	}
+	if k.IsNull() {
+		return nil
+	}
+	hk := k.HashKey()
+	if left {
+		j.lTable[hk] = append(j.lTable[hk], scored{t, sc})
+		for _, m := range j.rTable[hk] {
+			if err := j.emit(t, m.t, sc+m.s); err != nil {
+				return err
+			}
+		}
+	} else {
+		j.rTable[hk] = append(j.rTable[hk], scored{t, sc})
+		for _, m := range j.lTable[hk] {
+			if err := j.emit(m.t, t, m.s+sc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// emit pushes a candidate join result through the residual predicate into
+// the priority queue.
+func (j *HRJN) emit(l, r relation.Tuple, score float64) error {
+	out := l.Concat(r)
+	pass, err := expr.EvalBool(j.resEv, out)
+	if err != nil {
+		return err
+	}
+	if !pass {
+		return nil
+	}
+	heap.Push(&j.pq, rankItem{score: score, seq: j.seq, tuple: out})
+	j.seq++
+	if len(j.pq) > j.stats.MaxQueue {
+		j.stats.MaxQueue = len(j.pq)
+	}
+	return nil
+}
+
+// chooseSide picks the next input to poll.
+func (j *HRJN) chooseSide() bool {
+	if j.lDone {
+		return false
+	}
+	if j.rDone {
+		return true
+	}
+	// Both inputs must deliver one tuple before any bound exists.
+	if j.lSeen == 0 {
+		return true
+	}
+	if j.rSeen == 0 {
+		return false
+	}
+	if j.Strategy == Adaptive {
+		// The threshold is max(topL+lastR, lastL+topR); only pulling the
+		// input under the dominating term lowers it. Pull left when the
+		// lastL+topR term dominates, right otherwise.
+		return j.lastL+j.topR >= j.topL+j.lastR
+	}
+	side := j.pullLeft
+	j.pullLeft = !j.pullLeft
+	return side
+}
+
+// Next implements Operator.
+func (j *HRJN) Next() (relation.Tuple, bool, error) {
+	for {
+		if len(j.pq) > 0 && j.pq[0].score >= j.threshold()-scoreEps {
+			it := heap.Pop(&j.pq).(rankItem)
+			j.stats.Emitted++
+			return it.tuple, true, nil
+		}
+		if j.lDone && j.rDone {
+			if len(j.pq) > 0 {
+				it := heap.Pop(&j.pq).(rankItem)
+				j.stats.Emitted++
+				return it.tuple, true, nil
+			}
+			return nil, false, nil
+		}
+		if err := j.pull(j.chooseSide()); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *HRJN) Close() error {
+	j.lTable, j.rTable = nil, nil
+	j.pq = nil
+	err1 := j.Left.Close()
+	err2 := j.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// NRJN is the nested-loops rank-join operator. The outer (left) input must
+// arrive in descending score order; the inner input is materialized at Open
+// (it need not be sorted — this is the paper's "at least one sorted input"
+// join choice). For each outer tuple all inner matches are found by a linear
+// scan; the only ranking state is the priority queue. The threshold after
+// consuming an outer tuple with score s is s + max(inner score), since every
+// unseen combination involves a deeper outer tuple.
+type NRJN struct {
+	Left, Right Operator
+	// LeftScore and RightScore evaluate each input's score contribution.
+	LeftScore, RightScore expr.Expr
+	// Pred is the full join predicate over the concatenated tuple (NRJN
+	// performs no hashing, so any predicate works, not just equi-joins).
+	Pred expr.Expr
+
+	schema *relation.Schema
+	lScore expr.Eval
+	predEv expr.Eval
+
+	inner    []scored
+	innerMax float64
+	pq       rankQueue
+	seq      int
+	lastL    float64
+	lSeen    int
+	lDone    bool
+
+	stats RankJoinStats
+}
+
+// NewNRJN constructs the operator.
+func NewNRJN(left, right Operator, leftScore, rightScore, pred expr.Expr) *NRJN {
+	return &NRJN{
+		Left: left, Right: right,
+		LeftScore: leftScore, RightScore: rightScore, Pred: pred,
+		schema: left.Schema().Concat(right.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *NRJN) Schema() *relation.Schema { return j.schema }
+
+// Stats returns the measured depths and buffer high-water mark. RightDepth
+// equals the materialized inner size (the nested-loops strategy consumes the
+// inner fully).
+func (j *NRJN) Stats() RankJoinStats { return j.stats }
+
+// Open implements Operator: materializes and scores the inner input.
+func (j *NRJN) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	var err error
+	if j.lScore, err = j.LeftScore.Bind(j.Left.Schema()); err != nil {
+		return err
+	}
+	rScore, err := j.RightScore.Bind(j.Right.Schema())
+	if err != nil {
+		return err
+	}
+	if j.predEv, err = bindPred(j.Pred, j.schema); err != nil {
+		return err
+	}
+	inner, err := Collect(j.Right)
+	if err != nil {
+		return err
+	}
+	j.inner = j.inner[:0]
+	j.innerMax = math.Inf(-1)
+	for _, t := range inner {
+		v, err := rScore(t)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			continue
+		}
+		s := v.AsFloat()
+		j.inner = append(j.inner, scored{t, s})
+		if s > j.innerMax {
+			j.innerMax = s
+		}
+	}
+	j.pq = j.pq[:0]
+	j.seq = 0
+	j.lSeen = 0
+	j.lDone = false
+	j.stats = RankJoinStats{RightDepth: len(j.inner)}
+	return nil
+}
+
+// threshold bounds the combined score of unseen join results.
+func (j *NRJN) threshold() float64 {
+	if j.lDone || len(j.inner) == 0 {
+		return math.Inf(-1)
+	}
+	if j.lSeen == 0 {
+		return math.Inf(1)
+	}
+	return j.lastL + j.innerMax
+}
+
+// Next implements Operator.
+func (j *NRJN) Next() (relation.Tuple, bool, error) {
+	for {
+		if len(j.pq) > 0 && j.pq[0].score >= j.threshold()-scoreEps {
+			it := heap.Pop(&j.pq).(rankItem)
+			j.stats.Emitted++
+			return it.tuple, true, nil
+		}
+		if j.lDone {
+			if len(j.pq) > 0 {
+				it := heap.Pop(&j.pq).(rankItem)
+				j.stats.Emitted++
+				return it.tuple, true, nil
+			}
+			return nil, false, nil
+		}
+		t, ok, err := j.Left.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			j.lDone = true
+			continue
+		}
+		v, err := j.lScore(t)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		s := v.AsFloat()
+		if j.lSeen > 0 && s > j.lastL+scoreEps {
+			return nil, false, fmt.Errorf("exec: NRJN outer input violated descending-score contract (%v after %v)", s, j.lastL)
+		}
+		j.lastL = s
+		j.lSeen++
+		j.stats.LeftDepth = j.lSeen
+		for _, m := range j.inner {
+			out := t.Concat(m.t)
+			pass, err := expr.EvalBool(j.predEv, out)
+			if err != nil {
+				return nil, false, err
+			}
+			if !pass {
+				continue
+			}
+			heap.Push(&j.pq, rankItem{score: s + m.s, seq: j.seq, tuple: out})
+			j.seq++
+			if len(j.pq) > j.stats.MaxQueue {
+				j.stats.MaxQueue = len(j.pq)
+			}
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *NRJN) Close() error {
+	j.inner = nil
+	j.pq = nil
+	return j.Left.Close()
+}

@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"fmt"
+
+	"rankopt/internal/catalog"
+	"rankopt/internal/relation"
+)
+
+// SeqScan reads a relation in heap order.
+type SeqScan struct {
+	Rel *relation.Relation
+	pos int
+}
+
+// NewSeqScan constructs a sequential scan over rel.
+func NewSeqScan(rel *relation.Relation) *SeqScan { return &SeqScan{Rel: rel} }
+
+// Schema implements Operator.
+func (s *SeqScan) Schema() *relation.Schema { return s.Rel.Schema() }
+
+// Open implements Operator.
+func (s *SeqScan) Open() error { s.pos = 0; return nil }
+
+// Next implements Operator.
+func (s *SeqScan) Next() (relation.Tuple, bool, error) {
+	if s.pos >= s.Rel.Cardinality() {
+		return nil, false, nil
+	}
+	t := s.Rel.Tuple(s.pos)
+	s.pos++
+	return t, true, nil
+}
+
+// Close implements Operator.
+func (s *SeqScan) Close() error { return nil }
+
+// IndexScan reads a relation through a B+tree index in key order.
+// Descending scans deliver the sorted access rank-joins require (highest
+// score first).
+type IndexScan struct {
+	Rel  *relation.Relation
+	Idx  *catalog.Index
+	Desc bool
+
+	it interface {
+		Next() (relation.Value, int, bool)
+	}
+}
+
+// NewIndexScan constructs an index-ordered scan.
+func NewIndexScan(rel *relation.Relation, idx *catalog.Index, desc bool) *IndexScan {
+	return &IndexScan{Rel: rel, Idx: idx, Desc: desc}
+}
+
+// Schema implements Operator.
+func (s *IndexScan) Schema() *relation.Schema { return s.Rel.Schema() }
+
+// Open implements Operator.
+func (s *IndexScan) Open() error {
+	if s.Idx == nil || s.Idx.Tree == nil {
+		return fmt.Errorf("exec: index scan without index on %s", s.Rel.Name)
+	}
+	if s.Desc {
+		s.it = s.Idx.Tree.Descend()
+	} else {
+		s.it = s.Idx.Tree.Ascend()
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (s *IndexScan) Next() (relation.Tuple, bool, error) {
+	_, rid, ok := s.it.Next()
+	if !ok {
+		return nil, false, nil
+	}
+	if rid < 0 || rid >= s.Rel.Cardinality() {
+		return nil, false, fmt.Errorf("exec: index %s holds rid %d beyond relation %s", s.Idx.Name, rid, s.Rel.Name)
+	}
+	return s.Rel.Tuple(rid), true, nil
+}
+
+// Close implements Operator.
+func (s *IndexScan) Close() error { s.it = nil; return nil }

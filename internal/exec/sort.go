@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"sort"
+
+	"rankopt/internal/expr"
+	"rankopt/internal/relation"
+)
+
+// SortKey describes one component of a sort order.
+type SortKey struct {
+	E    expr.Expr
+	Desc bool
+}
+
+// Sort materializes its input and emits it ordered by the given keys. It is
+// the "glue a sort operator" enforcer of the paper: it turns any plan into
+// one with a required (interesting) order at the price of being blocking.
+type Sort struct {
+	In   Operator
+	Keys []SortKey
+
+	buf []relation.Tuple
+	pos int
+	// Spilled tracks how many tuples were (conceptually) written to runs;
+	// the in-memory implementation records the value for instrumentation
+	// parity with the cost model but never actually spills.
+	Spilled int
+}
+
+// NewSort constructs a sort enforcer.
+func NewSort(in Operator, keys ...SortKey) *Sort { return &Sort{In: in, Keys: keys} }
+
+// NewSortByScore sorts descending on a score expression — the common
+// enforcer for ranking queries.
+func NewSortByScore(in Operator, score expr.Expr) *Sort {
+	return NewSort(in, SortKey{E: score, Desc: true})
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *relation.Schema { return s.In.Schema() }
+
+// Open implements Operator: drains the input and sorts.
+func (s *Sort) Open() error {
+	if err := s.In.Open(); err != nil {
+		return err
+	}
+	evals := make([]expr.Eval, len(s.Keys))
+	for i, k := range s.Keys {
+		ev, err := k.E.Bind(s.In.Schema())
+		if err != nil {
+			return err
+		}
+		evals[i] = ev
+	}
+	s.buf = s.buf[:0]
+	s.pos = 0
+	type keyed struct {
+		t    relation.Tuple
+		keys []relation.Value
+	}
+	var rows []keyed
+	for {
+		t, ok, err := s.In.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		ks := make([]relation.Value, len(evals))
+		for i, ev := range evals {
+			v, err := ev(t)
+			if err != nil {
+				return err
+			}
+			ks[i] = v
+		}
+		rows = append(rows, keyed{t: t, keys: ks})
+	}
+	s.Spilled = len(rows)
+	sort.SliceStable(rows, func(i, j int) bool {
+		for c := range s.Keys {
+			cmp := rows[i].keys[c].Compare(rows[j].keys[c])
+			if s.Keys[c].Desc {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	s.buf = make([]relation.Tuple, len(rows))
+	for i, r := range rows {
+		s.buf[i] = r.t
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (relation.Tuple, bool, error) {
+	if s.pos >= len(s.buf) {
+		return nil, false, nil
+	}
+	t := s.buf[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.buf = nil
+	return s.In.Close()
+}

@@ -1,0 +1,128 @@
+package exec
+
+import (
+	"container/heap"
+	"sort"
+
+	"rankopt/internal/expr"
+	"rankopt/internal/relation"
+)
+
+// TopK keeps only the K highest-scoring tuples of its input using a bounded
+// min-heap, then emits them in descending score order. It is the classic
+// ORDER BY ... LIMIT K optimization: versus a full sort it holds K tuples
+// instead of the whole input and does O(n log K) work. Like Sort it is
+// blocking, but its memory footprint is K, which matters to the buffer-size
+// story of rank plans' competitors.
+type TopK struct {
+	In    Operator
+	Score expr.Expr
+	K     int
+
+	out []relation.Tuple
+	pos int
+}
+
+// NewTopK constructs the operator.
+func NewTopK(in Operator, score expr.Expr, k int) *TopK {
+	return &TopK{In: in, Score: score, K: k}
+}
+
+// Schema implements Operator.
+func (t *TopK) Schema() *relation.Schema { return t.In.Schema() }
+
+// topKItem pairs a tuple with its score inside the bounded heap.
+type topKItem struct {
+	score float64
+	seq   int
+	tuple relation.Tuple
+}
+
+// topKHeap is a min-heap on (score, -seq): the root is the weakest kept
+// tuple; later arrivals lose ties so the operator is deterministic and
+// stable.
+type topKHeap []topKItem
+
+func (h topKHeap) Len() int { return len(h) }
+func (h topKHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score < h[j].score
+	}
+	return h[i].seq > h[j].seq
+}
+func (h topKHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *topKHeap) Push(x any)   { *h = append(*h, x.(topKItem)) }
+func (h *topKHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Open implements Operator: drains the input through the bounded heap.
+func (t *TopK) Open() error {
+	if err := t.In.Open(); err != nil {
+		return err
+	}
+	ev, err := t.Score.Bind(t.In.Schema())
+	if err != nil {
+		return err
+	}
+	var h topKHeap
+	seq := 0
+	for {
+		tup, ok, err := t.In.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		v, err := ev(tup)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			continue
+		}
+		s := v.AsFloat()
+		switch {
+		case len(h) < t.K:
+			heap.Push(&h, topKItem{score: s, seq: seq, tuple: tup})
+		case s > h[0].score:
+			h[0] = topKItem{score: s, seq: seq, tuple: tup}
+			heap.Fix(&h, 0)
+		}
+		seq++
+	}
+	items := append(topKHeap(nil), h...)
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].score != items[b].score {
+			return items[a].score > items[b].score
+		}
+		return items[a].seq < items[b].seq
+	})
+	t.out = t.out[:0]
+	for _, it := range items {
+		t.out = append(t.out, it.tuple)
+	}
+	t.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (t *TopK) Next() (relation.Tuple, bool, error) {
+	if t.pos >= len(t.out) {
+		return nil, false, nil
+	}
+	tup := t.out[t.pos]
+	t.pos++
+	return tup, true, nil
+}
+
+// Close implements Operator.
+func (t *TopK) Close() error {
+	t.out = nil
+	return t.In.Close()
+}

@@ -1,0 +1,126 @@
+package expr
+
+import "rankopt/internal/relation"
+
+// Simplify rewrites an expression into an equivalent, cheaper form:
+// constant subtrees fold to literals, boolean identities collapse
+// (TRUE AND e → e, FALSE AND e → FALSE, ...), double negation cancels, and
+// numeric identities (e+0, e*1) drop the no-op. Expressions that would error
+// when folded (e.g. 1/0) are left untouched so the failure surfaces at
+// execution with full context.
+func Simplify(e Expr) Expr {
+	switch v := e.(type) {
+	case Binary:
+		l := Simplify(v.L)
+		r := Simplify(v.R)
+		out := Bin(v.Op, l, r)
+		// Boolean identities.
+		if v.Op == OpAnd || v.Op == OpOr {
+			if b, ok := boolConst(l); ok {
+				return simplifyBoolSide(v.Op, b, r)
+			}
+			if b, ok := boolConst(r); ok {
+				return simplifyBoolSide(v.Op, b, l)
+			}
+			return out
+		}
+		// Numeric identities.
+		if v.Op == OpAdd {
+			if isZero(l) {
+				return r
+			}
+			if isZero(r) {
+				return l
+			}
+		}
+		if v.Op == OpMul {
+			if isOne(l) {
+				return r
+			}
+			if isOne(r) {
+				return l
+			}
+		}
+		if v.Op == OpSub && isZero(r) {
+			return l
+		}
+		if v.Op == OpDiv && isOne(r) {
+			return l
+		}
+		// Constant folding.
+		if lc, ok := l.(Const); ok {
+			if rc, ok := r.(Const); ok {
+				if folded, ok := foldBinary(v.Op, lc, rc); ok {
+					return folded
+				}
+			}
+		}
+		return out
+	case Neg:
+		inner := Simplify(v.E)
+		if n, ok := inner.(Neg); ok {
+			return n.E
+		}
+		if c, ok := inner.(Const); ok && c.V.Numeric() {
+			if c.V.Kind() == relation.KindInt {
+				return IntLit(-c.V.AsInt())
+			}
+			return FloatLit(-c.V.AsFloat())
+		}
+		return Neg{E: inner}
+	case ScoreSum:
+		terms := make([]ScoreTerm, len(v.Terms))
+		for i, t := range v.Terms {
+			terms[i] = ScoreTerm{Weight: t.Weight, E: Simplify(t.E)}
+		}
+		return ScoreSum{Terms: terms}
+	default:
+		return e
+	}
+}
+
+func boolConst(e Expr) (bool, bool) {
+	c, ok := e.(Const)
+	if !ok || c.V.Kind() != relation.KindBool {
+		return false, false
+	}
+	return c.V.AsBool(), true
+}
+
+// simplifyBoolSide applies x AND e / x OR e identities for constant x.
+func simplifyBoolSide(op Op, b bool, other Expr) Expr {
+	switch {
+	case op == OpAnd && b:
+		return other
+	case op == OpAnd && !b:
+		return BoolLit(false)
+	case op == OpOr && b:
+		return BoolLit(true)
+	default:
+		return other
+	}
+}
+
+func isZero(e Expr) bool {
+	c, ok := e.(Const)
+	return ok && c.V.Numeric() && c.V.AsFloat() == 0
+}
+
+func isOne(e Expr) bool {
+	c, ok := e.(Const)
+	return ok && c.V.Numeric() && c.V.AsFloat() == 1
+}
+
+// foldBinary evaluates a constant binary expression; ok=false when the
+// evaluation would error (division by zero, type mismatch) or yields NULL.
+func foldBinary(op Op, l, r Const) (Expr, bool) {
+	ev, err := Bin(op, l, r).Bind(relation.NewSchema())
+	if err != nil {
+		return nil, false
+	}
+	v, err := ev(nil)
+	if err != nil || v.IsNull() {
+		return nil, false
+	}
+	return Const{V: v}, true
+}

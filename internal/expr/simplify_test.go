@@ -1,0 +1,110 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rankopt/internal/relation"
+)
+
+func TestSimplifyConstantFolding(t *testing.T) {
+	cases := []struct {
+		in   Expr
+		want string
+	}{
+		{Bin(OpAdd, IntLit(2), IntLit(3)), "5"},
+		{Bin(OpMul, FloatLit(0.5), FloatLit(4)), "2"},
+		{Bin(OpLt, IntLit(1), IntLit(2)), "TRUE"},
+		{Bin(OpEq, StrLit("a"), StrLit("b")), "FALSE"},
+		{Neg{IntLit(5)}, "-5"},
+		{Neg{Neg{Col("A", "x")}}, "A.x"},
+		{Bin(OpAdd, Col("A", "x"), IntLit(0)), "A.x"},
+		{Bin(OpAdd, FloatLit(0), Col("A", "x")), "A.x"},
+		{Bin(OpMul, IntLit(1), Col("A", "x")), "A.x"},
+		{Bin(OpMul, Col("A", "x"), FloatLit(1)), "A.x"},
+		{Bin(OpSub, Col("A", "x"), IntLit(0)), "A.x"},
+		{Bin(OpDiv, Col("A", "x"), IntLit(1)), "A.x"},
+		{Bin(OpAnd, BoolLit(true), Bin(OpGt, Col("A", "x"), IntLit(0))), "(A.x > 0)"},
+		{Bin(OpAnd, Bin(OpGt, Col("A", "x"), IntLit(0)), BoolLit(false)), "FALSE"},
+		{Bin(OpOr, BoolLit(false), Bin(OpGt, Col("A", "x"), IntLit(0))), "(A.x > 0)"},
+		{Bin(OpOr, BoolLit(true), Col("A", "x")), "TRUE"},
+		// Nested: (2+3)*A.x stays but inner folds.
+		{Bin(OpMul, Bin(OpAdd, IntLit(2), IntLit(3)), Col("A", "x")), "(5 * A.x)"},
+	}
+	for _, c := range cases {
+		got := Simplify(c.in)
+		if got.String() != c.want {
+			t.Errorf("Simplify(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyLeavesErrorsForRuntime(t *testing.T) {
+	// 1/0 must NOT fold (would lose the error); it stays structurally intact.
+	e := Bin(OpDiv, IntLit(1), IntLit(0))
+	got := Simplify(e)
+	if got.String() != e.String() {
+		t.Errorf("division by zero should not fold: %s", got)
+	}
+	// NULL-producing comparisons stay too.
+	n := Bin(OpEq, Const{relation.Null()}, IntLit(1))
+	if Simplify(n).String() != n.String() {
+		t.Error("NULL comparison should not fold")
+	}
+}
+
+func TestSimplifyScoreSum(t *testing.T) {
+	s := Sum(ScoreTerm{Weight: 0.5, E: Bin(OpAdd, Col("A", "x"), IntLit(0))})
+	got := Simplify(s)
+	if got.String() != "0.5*A.x" {
+		t.Errorf("ScoreSum simplify = %s", got)
+	}
+}
+
+// Property: simplification preserves semantics on random expressions.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	sch := relation.NewSchema(
+		relation.Column{Table: "A", Name: "x", Kind: relation.KindFloat},
+		relation.Column{Table: "A", Name: "y", Kind: relation.KindFloat},
+	)
+	// Random expression generator over +,-,*,comparisons with columns and
+	// small constants.
+	var gen func(rng *rand.Rand, depth int) Expr
+	gen = func(rng *rand.Rand, depth int) Expr {
+		if depth == 0 || rng.Intn(3) == 0 {
+			switch rng.Intn(4) {
+			case 0:
+				return Col("A", "x")
+			case 1:
+				return Col("A", "y")
+			case 2:
+				return IntLit(int64(rng.Intn(4)))
+			default:
+				return FloatLit(float64(rng.Intn(3)))
+			}
+		}
+		ops := []Op{OpAdd, OpSub, OpMul}
+		return Bin(ops[rng.Intn(len(ops))], gen(rng, depth-1), gen(rng, depth-1))
+	}
+	f := func(seed int64, xv, yv uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := gen(rng, 4)
+		s := Simplify(e)
+		tup := relation.Tuple{relation.Float(float64(xv)), relation.Float(float64(yv))}
+		ev1, err1 := e.Bind(sch)
+		ev2, err2 := s.Bind(sch)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		v1, err1 := ev1(tup)
+		v2, err2 := ev2(tup)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		return v1.IsNull() == v2.IsNull() && (v1.IsNull() || v1.AsFloat() == v2.AsFloat())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

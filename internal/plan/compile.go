@@ -1,0 +1,232 @@
+package plan
+
+import (
+	"fmt"
+
+	"rankopt/internal/catalog"
+	"rankopt/internal/exec"
+	"rankopt/internal/expr"
+)
+
+// Compile lowers a physical plan into an executable operator tree bound to
+// the given catalog.
+func Compile(cat *catalog.Catalog, n *Node) (exec.Operator, error) {
+	return CompileTraced(cat, n, nil)
+}
+
+// CompileTraced compiles like Compile and additionally invokes trace for
+// every (plan node, compiled operator) pair, letting callers keep handles to
+// instrumented operators — e.g. rank-joins whose measured depths are
+// compared against the optimizer's estimates after execution.
+func CompileTraced(cat *catalog.Catalog, n *Node, trace func(*Node, exec.Operator)) (exec.Operator, error) {
+	c := &compiler{cat: cat, trace: trace}
+	return c.compile(n)
+}
+
+type compiler struct {
+	cat   *catalog.Catalog
+	trace func(*Node, exec.Operator)
+}
+
+func (c *compiler) compile(n *Node) (exec.Operator, error) {
+	op, err := c.build(n)
+	if err != nil {
+		return nil, err
+	}
+	if c.trace != nil {
+		c.trace(n, op)
+	}
+	return op, nil
+}
+
+func (c *compiler) build(n *Node) (exec.Operator, error) {
+	switch n.Op {
+	case OpSeqScan:
+		tab, err := c.cat.Table(n.Table)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewSeqScan(tab.Rel), nil
+
+	case OpIndexScan:
+		tab, err := c.cat.Table(n.Table)
+		if err != nil {
+			return nil, err
+		}
+		if n.Index == nil {
+			return nil, fmt.Errorf("plan: index scan on %s without index", n.Table)
+		}
+		return exec.NewIndexScan(tab.Rel, n.Index, n.IndexDesc), nil
+
+	case OpSort:
+		in, err := c.compile(n.Input())
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewSort(in, n.SortKeys...), nil
+
+	case OpFilter:
+		in, err := c.compile(n.Input())
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewFilter(in, n.Pred), nil
+
+	case OpLimit:
+		in, err := c.compile(n.Input())
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewLimit(in, n.K), nil
+
+	case OpRank:
+		in, err := c.compile(n.Input())
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewRankAssign(in, n.Score), nil
+
+	case OpProject:
+		in, err := c.compile(n.Input())
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewProject(in, n.Items...), nil
+
+	case OpHashAgg:
+		in, err := c.compile(n.Input())
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewHashAggregate(in, n.GroupBy, n.Aggs), nil
+
+	case OpSortAgg:
+		in, err := c.compile(n.Input())
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewSortedAggregate(in, n.GroupBy, n.Aggs), nil
+
+	case OpTopK:
+		in, err := c.compile(n.Input())
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewTopK(in, n.Score, n.K), nil
+
+	case OpRankAgg:
+		return exec.NewTASelect(n.TAInputs, n.K)
+
+	case OpIndexRange:
+		tab, err := c.cat.Table(n.Table)
+		if err != nil {
+			return nil, err
+		}
+		if n.Index == nil {
+			return nil, fmt.Errorf("plan: index range scan on %s without index", n.Table)
+		}
+		return exec.NewIndexRangeScan(tab.Rel, n.Index, n.RangeLo, n.RangeHi, n.HasLo, n.HasHi), nil
+
+	case OpNLJ:
+		l, r, err := c.children(n)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewNestedLoopsJoin(l, r, n.fullJoinPred()), nil
+
+	case OpINLJ:
+		l, err := c.compile(n.Left())
+		if err != nil {
+			return nil, err
+		}
+		tab, err := c.cat.Table(n.Table)
+		if err != nil {
+			return nil, err
+		}
+		if n.Index == nil {
+			return nil, fmt.Errorf("plan: index NL join on %s without index", n.Table)
+		}
+		if len(n.EqPreds) == 0 {
+			return nil, fmt.Errorf("plan: index NL join without equi-predicate")
+		}
+		return exec.NewIndexNLJoin(l, tab.Rel, n.Index, n.EqPreds[0].L, n.residualAfterPrimary()), nil
+
+	case OpHashJoin:
+		l, r, err := c.children(n)
+		if err != nil {
+			return nil, err
+		}
+		if len(n.EqPreds) == 0 {
+			return nil, fmt.Errorf("plan: hash join without equi-predicate")
+		}
+		return exec.NewHashJoin(l, r, n.EqPreds[0].L, n.EqPreds[0].R, n.residualAfterPrimary()), nil
+
+	case OpMergeJoin:
+		l, r, err := c.children(n)
+		if err != nil {
+			return nil, err
+		}
+		if len(n.EqPreds) == 0 {
+			return nil, fmt.Errorf("plan: merge join without equi-predicate")
+		}
+		return exec.NewSortMergeJoin(l, r, n.EqPreds[0].L, n.EqPreds[0].R, n.residualAfterPrimary()), nil
+
+	case OpHRJN:
+		l, r, err := c.children(n)
+		if err != nil {
+			return nil, err
+		}
+		if len(n.EqPreds) == 0 {
+			return nil, fmt.Errorf("plan: HRJN without equi-predicate")
+		}
+		h := exec.NewHRJN(l, r, n.LScore, n.RScore,
+			n.EqPreds[0].L, n.EqPreds[0].R, n.residualAfterPrimary())
+		h.Strategy = n.Strategy
+		return h, nil
+
+	case OpNRJN:
+		l, r, err := c.children(n)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewNRJN(l, r, n.LScore, n.RScore, n.fullJoinPred()), nil
+
+	default:
+		return nil, fmt.Errorf("plan: cannot compile operator %v", n.Op)
+	}
+}
+
+func (c *compiler) children(n *Node) (exec.Operator, exec.Operator, error) {
+	l, err := c.compile(n.Left())
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := c.compile(n.Right())
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+// fullJoinPred combines all equi-predicates and the residual into one
+// expression (for operators that evaluate predicates directly).
+func (n *Node) fullJoinPred() expr.Expr {
+	conjs := make([]expr.Expr, 0, len(n.EqPreds)+1)
+	for _, j := range n.EqPreds {
+		conjs = append(conjs, expr.Bin(expr.OpEq, j.L, j.R))
+	}
+	conjs = append(conjs, n.Pred)
+	return expr.And(conjs...)
+}
+
+// residualAfterPrimary combines every equi-predicate beyond the first with
+// the residual predicate (for operators that handle the primary key
+// natively).
+func (n *Node) residualAfterPrimary() expr.Expr {
+	conjs := make([]expr.Expr, 0, len(n.EqPreds))
+	for _, j := range n.EqPreds[1:] {
+		conjs = append(conjs, expr.Bin(expr.OpEq, j.L, j.R))
+	}
+	conjs = append(conjs, n.Pred)
+	return expr.And(conjs...)
+}

@@ -1,0 +1,276 @@
+package plan
+
+import (
+	"math"
+
+	"rankopt/internal/estimate"
+)
+
+// Cost returns the estimated cost for the plan rooted at n to deliver its
+// first k output tuples. Blocking operators (Sort) charge their full price
+// regardless of k; streaming operators prorate; rank-join operators consult
+// the Section 4 depth model to convert k into input depths and recursively
+// charge their children for exactly those depths — the cost-side mirror of
+// Algorithm Propagate. TotalCost is Cost(Card).
+func (n *Node) Cost(k float64) float64 {
+	if k > n.Card {
+		k = n.Card
+	}
+	if k < 0 {
+		k = 0
+	}
+	p := n.P
+	switch n.Op {
+	case OpSeqScan:
+		return p.SeqScan(n.Card, k)
+
+	case OpIndexScan, OpIndexRange:
+		clustered := n.Index != nil && n.Index.Clustered
+		return p.IndexScan(k, clustered)
+
+	case OpSort:
+		in := n.Input()
+		return in.Cost(in.Card) + p.Sort(in.Card)
+
+	case OpFilter:
+		in := n.Input()
+		need := n.Card
+		if n.Sel > 0 {
+			need = math.Min(k/n.Sel, in.Card)
+		}
+		return in.Cost(need) + need*p.CPUTuple
+
+	case OpNLJ:
+		l, r := n.Left(), n.Right()
+		frac := fraction(k, n.Card)
+		outer := l.Card * frac
+		// Inner is always fully materialized.
+		return l.Cost(outer) + r.Cost(r.Card) + p.NestedLoopCPU(outer, r.Card, k)
+
+	case OpINLJ:
+		l := n.Left()
+		frac := fraction(k, n.Card)
+		outer := l.Card * frac
+		matchesPerProbe := n.Sel * n.InnerCard
+		return l.Cost(outer) + outer*p.IndexProbe(matchesPerProbe)
+
+	case OpHashJoin:
+		l, r := n.Left(), n.Right()
+		frac := fraction(k, n.Card)
+		probe := r.Card * frac
+		return l.Cost(l.Card) + p.HashBuild(l.Card) + r.Cost(probe) + p.HashProbe(probe, k)
+
+	case OpMergeJoin:
+		l, r := n.Left(), n.Right()
+		frac := fraction(k, n.Card)
+		return l.Cost(l.Card*frac) + r.Cost(r.Card*frac) + p.MergeCPU(l.Card*frac, r.Card*frac, k)
+
+	case OpHRJN:
+		dL, dR := n.Depths(k)
+		l, r := n.Left(), n.Right()
+		buffered := n.Sel * dL * dR
+		return l.Cost(dL) + r.Cost(dR) +
+			p.HashProbe(dL+dR, buffered) +
+			p.HeapPush(buffered, math.Max(buffered, 2))
+
+	case OpNRJN:
+		dL := n.nrjnOuterDepth(k)
+		l, r := n.Left(), n.Right()
+		matches := n.Sel * dL * r.Card
+		return l.Cost(dL) + r.Cost(r.Card) +
+			p.NestedLoopCPU(dL, r.Card, matches) +
+			p.HeapPush(matches, math.Max(matches, 2))
+
+	case OpLimit:
+		kk := math.Min(k, float64(n.K))
+		return n.Input().Cost(kk) + kk*p.CPUTuple
+
+	case OpRank, OpProject:
+		return n.Input().Cost(k) + k*p.CPUTuple
+
+	case OpHashAgg:
+		// Blocking: the whole input is consumed and hashed before the first
+		// group emerges.
+		in := n.Input()
+		return in.Cost(in.Card) + p.HashBuild(in.Card) + n.Card*p.CPUTuple
+
+	case OpSortAgg:
+		// Streaming: producing k groups consumes the matching input prefix.
+		in := n.Input()
+		frac := fraction(k, n.Card)
+		return in.Cost(in.Card*frac) + in.Card*frac*p.CPUCompare + k*p.CPUTuple
+
+	case OpTopK:
+		// Bounded-heap sort: the whole input streams through a K-sized heap
+		// — no sort I/O, O(n log K) CPU.
+		in := n.Input()
+		return in.Cost(in.Card) + p.HeapPush(in.Card, math.Max(float64(n.K), 2))
+
+	case OpRankAgg:
+		// Fagin's TA over m lists of ~BaseN objects: the expected sorted
+		// depth per list is D = n^{(m-1)/m}·(m!·k)^{1/m}/m; every newly seen
+		// object costs m-1 random probes. Each access is a random page.
+		m := float64(len(n.TAInputs))
+		if m < 1 {
+			return math.Inf(1)
+		}
+		nn := math.Max(n.BaseN, 1)
+		fact := 1.0
+		for i := 2.0; i <= m; i++ {
+			fact *= i
+		}
+		d := math.Pow(nn, (m-1)/m) * math.Pow(fact*math.Max(k, 1), 1/m) / m
+		d = math.Min(math.Max(d, 1), nn)
+		accesses := m*d + m*d*(m-1)
+		return accesses*p.RandPage + m*d*p.CPUTuple
+
+	default:
+		panic("plan: Cost on unknown operator")
+	}
+}
+
+// TotalCost is the cost to deliver the full output.
+func (n *Node) TotalCost() float64 { return n.Cost(n.Card) }
+
+// fraction returns produced/total clamped to [0,1]; producing from an empty
+// output charges nothing extra.
+func fraction(k, card float64) float64 {
+	if card <= 0 {
+		return 0
+	}
+	f := k / card
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Depths returns the estimated input depths (dL, dR) a rank-join node needs
+// to deliver its top-k results, clamped to what the children can produce.
+// Non-rank-join nodes panic.
+func (n *Node) Depths(k float64) (float64, float64) {
+	if !n.Op.IsRankJoin() {
+		panic("plan: Depths on non-rank-join node")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n.Card && n.Card >= 1 {
+		k = n.Card
+	}
+	s := n.Sel
+	if s <= 0 {
+		s = 1e-9
+	}
+	if s > 1 {
+		s = 1
+	}
+	var d estimate.Depths
+	var err error
+	if n.LLeaves == 1 && n.RLeaves == 1 && n.LSlab > 0 && n.RSlab > 0 {
+		d, err = estimate.TwoUniform(k, s, n.LSlab, n.RSlab)
+	} else {
+		baseN := n.BaseN
+		if baseN < 1 {
+			baseN = 1
+		}
+		d, err = estimate.HierarchyWorst(k, s, maxInt(n.LLeaves, 1), maxInt(n.RLeaves, 1), baseN)
+	}
+	if err != nil {
+		// Degenerate parameters: fall back to consuming everything.
+		return n.Left().Card, n.Right().Card
+	}
+	dL := math.Min(d.DL, n.Left().Card)
+	dR := math.Min(d.DR, n.Right().Card)
+	if dL < 1 {
+		dL = math.Min(1, n.Left().Card)
+	}
+	if dR < 1 {
+		dR = math.Min(1, n.Right().Card)
+	}
+	return dL, dR
+}
+
+// nrjnOuterDepth estimates the outer depth of an NRJN node: its inner is
+// consumed fully and unsorted, so the one-sided analysis applies when both
+// sides are single ranked base inputs with known slabs; hierarchies fall
+// back to the symmetric model's left depth.
+func (n *Node) nrjnOuterDepth(k float64) float64 {
+	if k < 1 {
+		k = 1
+	}
+	if k > n.Card && n.Card >= 1 {
+		k = n.Card
+	}
+	if n.LLeaves == 1 && n.RLeaves == 1 && n.LSlab > 0 && n.RSlab > 0 {
+		s := n.Sel
+		if s <= 0 {
+			s = 1e-9
+		}
+		if s > 1 {
+			s = 1
+		}
+		if d, err := estimate.OneSidedDepth(k, s, n.LSlab, n.RSlab); err == nil {
+			return math.Min(math.Max(d, 1), n.Left().Card)
+		}
+	}
+	dL, _ := n.Depths(k)
+	return dL
+}
+
+// PropagateK walks the plan tree pushing the requested output count k down
+// to every node: rank-join children receive the operator's estimated depths
+// (Algorithm Propagate), blocking and streaming operators receive their
+// natural demands. visit is called with each node and its required k.
+func PropagateK(root *Node, k float64, visit func(n *Node, k float64)) {
+	if k > root.Card {
+		k = root.Card
+	}
+	visit(root, k)
+	switch {
+	case root.Op.IsRankJoin():
+		dL, dR := root.Depths(k)
+		PropagateK(root.Left(), dL, visit)
+		PropagateK(root.Right(), dR, visit)
+	case root.Op == OpLimit:
+		PropagateK(root.Input(), math.Min(k, float64(root.K)), visit)
+	case root.Op == OpSort || root.Op == OpHashAgg || root.Op == OpTopK:
+		// Blocking: the child is consumed fully.
+		PropagateK(root.Input(), root.Input().Card, visit)
+	case len(root.Children) == 1:
+		PropagateK(root.Input(), k, visit)
+	default:
+		for _, c := range root.Children {
+			PropagateK(c, c.Card, visit)
+		}
+	}
+}
+
+// EstimateTree mirrors the rank-join structure of the plan into an
+// estimate.Node tree so Algorithm Propagate can annotate expected depths for
+// the experiment harness. Non-rank-join unary operators are transparent;
+// scans become leaves; traditional joins collapse to leaves with their
+// output cardinality (their inputs are consumed wholesale anyway).
+func (n *Node) EstimateTree() *estimate.Node {
+	switch {
+	case n.Op.IsRankJoin():
+		return estimate.Join(n.Left().EstimateTree(), n.Right().EstimateTree(), n.Sel)
+	case len(n.Children) == 1:
+		return n.Input().EstimateTree()
+	case len(n.Children) == 0:
+		slab := 0.0
+		if n.LSlab > 0 {
+			slab = n.LSlab
+		}
+		return estimate.Leaf(n.Card, slab)
+	default:
+		return estimate.Leaf(n.Card, 0)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,142 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the plan tree in a pg-style indented format with operator
+// names, key details, estimated cardinality, total cost, and properties.
+func Explain(n *Node) string {
+	var b strings.Builder
+	explain(&b, n, 0)
+	return b.String()
+}
+
+// ExplainK renders the plan with costs evaluated at the given k.
+func ExplainK(n *Node, k int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "top-k = %d\n", k)
+	explainAt(&b, n, 0, float64(k))
+	return b.String()
+}
+
+func explain(b *strings.Builder, n *Node, depth int) {
+	explainAt(b, n, depth, n.Card)
+}
+
+func explainAt(b *strings.Builder, n *Node, depth int, k float64) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s%s  (card=%.0f cost=%.1f %s)\n",
+		indent, n.Op, detail(n), n.Card, n.Cost(k), propsStr(n))
+	// Children of a rank-join are charged for the propagated depths.
+	if n.Op.IsRankJoin() {
+		dL, dR := n.Depths(k)
+		explainAt(b, n.Left(), depth+1, dL)
+		explainAt(b, n.Right(), depth+1, dR)
+		return
+	}
+	for _, c := range n.Children {
+		explainAt(b, c, depth+1, c.Card)
+	}
+}
+
+func detail(n *Node) string {
+	switch n.Op {
+	case OpSeqScan:
+		return "(" + n.Table + ")"
+	case OpIndexScan:
+		dir := "asc"
+		if n.IndexDesc {
+			dir = "desc"
+		}
+		name := "?"
+		if n.Index != nil {
+			name = n.Index.Name
+		}
+		return fmt.Sprintf("(%s via %s %s)", n.Table, name, dir)
+	case OpSort:
+		keys := make([]string, len(n.SortKeys))
+		for i, k := range n.SortKeys {
+			d := ""
+			if k.Desc {
+				d = " desc"
+			}
+			keys[i] = k.E.String() + d
+		}
+		return "(" + strings.Join(keys, ", ") + ")"
+	case OpFilter:
+		return "(" + n.Pred.String() + ")"
+	case OpNLJ, OpHashJoin, OpMergeJoin, OpHRJN, OpNRJN:
+		var parts []string
+		for _, j := range n.EqPreds {
+			parts = append(parts, j.String())
+		}
+		if n.Pred != nil {
+			parts = append(parts, n.Pred.String())
+		}
+		if len(parts) == 0 {
+			return ""
+		}
+		return "(" + strings.Join(parts, " AND ") + ")"
+	case OpINLJ:
+		var parts []string
+		for _, j := range n.EqPreds {
+			parts = append(parts, j.String())
+		}
+		name := "?"
+		if n.Index != nil {
+			name = n.Index.Name
+		}
+		return fmt.Sprintf("(%s; inner %s via %s)", strings.Join(parts, " AND "), n.Table, name)
+	case OpLimit:
+		return fmt.Sprintf("(%d)", n.K)
+	case OpTopK:
+		return fmt.Sprintf("(%s, k=%d)", n.Score.String(), n.K)
+	case OpRankAgg:
+		var tabs []string
+		for _, in := range n.TAInputs {
+			tabs = append(tabs, in.Rel.Name)
+		}
+		return fmt.Sprintf("(TA over %s, k=%d)", strings.Join(tabs, ", "), n.K)
+	case OpIndexRange:
+		lo, hi := "-inf", "+inf"
+		if n.HasLo {
+			lo = n.RangeLo.String()
+		}
+		if n.HasHi {
+			hi = n.RangeHi.String()
+		}
+		name := "?"
+		if n.Index != nil {
+			name = n.Index.Name
+		}
+		return fmt.Sprintf("(%s via %s, key in [%s, %s])", n.Table, name, lo, hi)
+	case OpRank:
+		return "(" + n.Score.String() + ")"
+	case OpProject:
+		items := make([]string, len(n.Items))
+		for i, it := range n.Items {
+			items[i] = it.As
+		}
+		return "(" + strings.Join(items, ", ") + ")"
+	case OpHashAgg, OpSortAgg:
+		var parts []string
+		for _, g := range n.GroupBy {
+			parts = append(parts, g.String())
+		}
+		for _, a := range n.Aggs {
+			parts = append(parts, a.String())
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	}
+	return ""
+}
+
+func propsStr(n *Node) string {
+	s := n.Props.Order.Key()
+	if n.Props.Pipelined {
+		s += " pipelined"
+	}
+	return s
+}

@@ -1,0 +1,447 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rankopt/internal/catalog"
+	"rankopt/internal/costmodel"
+	"rankopt/internal/exec"
+	"rankopt/internal/expr"
+	"rankopt/internal/logical"
+	"rankopt/internal/workload"
+)
+
+var params = costmodel.Default()
+
+// env bundles a generated two-table workload and plan-building helpers.
+type env struct {
+	cat   *catalog.Catalog
+	names []string
+	n     int
+	sel   float64
+}
+
+func newEnv(t *testing.T, m, n int, sel float64) *env {
+	t.Helper()
+	cat, names := workload.RankedSet(m, workload.RankedConfig{N: n, Selectivity: sel, Seed: 1234})
+	return &env{cat: cat, names: names, n: n, sel: sel}
+}
+
+// scoreScan builds an IndexScan node descending on the table's score.
+func (e *env) scoreScan(t *testing.T, name string) *Node {
+	t.Helper()
+	idx := e.cat.IndexOn(name, "score")
+	if idx == nil {
+		t.Fatalf("no score index on %s", name)
+	}
+	return &Node{
+		Op:        OpIndexScan,
+		Table:     name,
+		Index:     idx,
+		IndexDesc: true,
+		Card:      float64(e.cat.Cardinality(name)),
+		LSlab:     e.cat.ColStats(name, "score").Slab,
+		P:         &params,
+		Props:     Props{Order: RankOrder(name), Pipelined: true},
+	}
+}
+
+// seqScan builds a plain heap scan node.
+func (e *env) seqScan(name string) *Node {
+	return &Node{
+		Op:    OpSeqScan,
+		Table: name,
+		Card:  float64(e.cat.Cardinality(name)),
+		P:     &params,
+		Props: Props{Order: NoOrder, Pipelined: true},
+	}
+}
+
+// hrjn joins two ranked-scan children.
+func (e *env) hrjn(l, r *Node, lt, rt string) *Node {
+	return &Node{
+		Op:       OpHRJN,
+		Children: []*Node{l, r},
+		EqPreds:  []logical.JoinPred{{L: expr.Col(lt, "key"), R: expr.Col(rt, "key")}},
+		LScore:   expr.Sum(expr.ScoreTerm{Weight: 1, E: expr.Col(lt, "score")}),
+		RScore:   expr.Sum(expr.ScoreTerm{Weight: 1, E: expr.Col(rt, "score")}),
+		Card:     e.sel * l.Card * r.Card,
+		Sel:      e.sel,
+		LLeaves:  1, RLeaves: 1,
+		BaseN: float64(e.n),
+		LSlab: e.cat.ColStats(lt, "score").Slab,
+		RSlab: e.cat.ColStats(rt, "score").Slab,
+		P:     &params,
+		Props: Props{Order: RankOrder(lt, rt), Pipelined: true},
+	}
+}
+
+func TestOrderPropSemantics(t *testing.T) {
+	dc := NoOrder
+	col := ColOrder(expr.Col("A", "c1"), false)
+	colD := ColOrder(expr.Col("A", "c1"), true)
+	rank := RankOrder("B", "A")
+	rank2 := RankOrder("A", "B")
+
+	if !rank.Equal(rank2) {
+		t.Error("rank order must canonicalize table sets")
+	}
+	if col.Equal(colD) {
+		t.Error("direction matters")
+	}
+	if !col.Covers(dc) || !rank.Covers(dc) {
+		t.Error("every order covers DC")
+	}
+	if dc.Covers(col) || col.Covers(rank) {
+		t.Error("weak orders must not cover strong requirements")
+	}
+	if dc.Key() != "DC" {
+		t.Errorf("DC key = %q", dc.Key())
+	}
+}
+
+func TestPropsDominance(t *testing.T) {
+	rankPipe := Props{Order: RankOrder("A"), Pipelined: true}
+	rankBlock := Props{Order: RankOrder("A"), Pipelined: false}
+	dcPipe := Props{Order: NoOrder, Pipelined: true}
+
+	if !rankPipe.Dominates(rankBlock) {
+		t.Error("pipelined dominates blocking with same order")
+	}
+	if rankBlock.Dominates(rankPipe) {
+		t.Error("blocking cannot dominate pipelined")
+	}
+	if !rankPipe.Dominates(dcPipe) {
+		t.Error("ordered dominates DC")
+	}
+	if dcPipe.Dominates(rankPipe) {
+		t.Error("DC cannot dominate ordered")
+	}
+	if rankPipe.Key() == rankBlock.Key() {
+		t.Error("property keys must distinguish pipelining")
+	}
+}
+
+func TestNodeTablesAndWalk(t *testing.T) {
+	e := newEnv(t, 2, 100, 0.1)
+	j := e.hrjn(e.scoreScan(t, "T1"), e.scoreScan(t, "T2"), "T1", "T2")
+	ts := j.Tables()
+	if len(ts) != 2 || ts[0] != "T1" || ts[1] != "T2" {
+		t.Fatalf("Tables = %v", ts)
+	}
+	if j.CountOps(OpIndexScan) != 2 || j.CountOps(OpHRJN) != 1 || j.CountOps(OpSort) != 0 {
+		t.Error("CountOps mismatch")
+	}
+}
+
+func TestScanCosts(t *testing.T) {
+	e := newEnv(t, 1, 10000, 0.01)
+	seq := e.seqScan("T1")
+	idx := e.scoreScan(t, "T1")
+	if seq.Cost(100) >= seq.Cost(10000) {
+		t.Error("partial seq scan cheaper than full")
+	}
+	// Unclustered index full scan is far pricier than seq scan.
+	if idx.Cost(10000) <= seq.Cost(10000) {
+		t.Error("full unclustered index scan should cost more than seq scan")
+	}
+	// But for tiny k the index scan wins.
+	if idx.Cost(10) >= seq.Cost(10000) {
+		t.Error("short index scan should beat full heap scan")
+	}
+}
+
+func TestSortNodeBlockingCost(t *testing.T) {
+	e := newEnv(t, 1, 50000, 0.01)
+	s := &Node{
+		Op:       OpSort,
+		Children: []*Node{e.seqScan("T1")},
+		SortKeys: []exec.SortKey{{E: expr.Col("T1", "score"), Desc: true}},
+		Card:     50000,
+		P:        &params,
+		Props:    Props{Order: RankOrder("T1")},
+	}
+	if s.Cost(1) != s.Cost(50000) {
+		t.Error("sort cost must be k-independent (blocking)")
+	}
+	if s.Cost(1) <= e.seqScan("T1").Cost(50000) {
+		t.Error("sort must cost more than its input scan")
+	}
+}
+
+func TestHRJNCostGrowsWithK(t *testing.T) {
+	e := newEnv(t, 2, 10000, 0.01)
+	j := e.hrjn(e.scoreScan(t, "T1"), e.scoreScan(t, "T2"), "T1", "T2")
+	c10, c100, c1000 := j.Cost(10), j.Cost(100), j.Cost(1000)
+	if !(c10 < c100 && c100 < c1000) {
+		t.Errorf("HRJN cost must grow with k: %v %v %v", c10, c100, c1000)
+	}
+}
+
+func TestDepthsClampedToChildren(t *testing.T) {
+	e := newEnv(t, 2, 100, 0.5)
+	j := e.hrjn(e.scoreScan(t, "T1"), e.scoreScan(t, "T2"), "T1", "T2")
+	dL, dR := j.Depths(1e9)
+	if dL > 100 || dR > 100 {
+		t.Errorf("depths %v/%v exceed child cardinality", dL, dR)
+	}
+	dL, dR = j.Depths(0)
+	if dL < 1 || dR < 1 {
+		t.Errorf("degenerate k still needs >= 1 tuple: %v/%v", dL, dR)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Depths on scan must panic")
+		}
+	}()
+	e.seqScan("T1").Depths(5)
+}
+
+func TestCompileAndRunHRJNPlan(t *testing.T) {
+	e := newEnv(t, 2, 2000, 0.01)
+	j := e.hrjn(e.scoreScan(t, "T1"), e.scoreScan(t, "T2"), "T1", "T2")
+	limit := &Node{Op: OpLimit, Children: []*Node{j}, K: 10, Card: 10, P: &params,
+		Props: j.Props}
+	op, err := Compile(e.cat, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("plan produced %d tuples", len(got))
+	}
+	// Verify against join-then-sort reference.
+	t1, _ := e.cat.Table("T1")
+	t2, _ := e.cat.Table("T2")
+	var ref []float64
+	for _, a := range t1.Rel.Tuples() {
+		for _, b := range t2.Rel.Tuples() {
+			if a[1].Equal(b[1]) {
+				ref = append(ref, a[2].AsFloat()+b[2].AsFloat())
+			}
+		}
+	}
+	for i := 1; i < len(ref); i++ {
+		for j := i; j > 0 && ref[j] > ref[j-1]; j-- {
+			ref[j], ref[j-1] = ref[j-1], ref[j]
+		}
+	}
+	for i, tup := range got {
+		s := tup[2].AsFloat() + tup[5].AsFloat()
+		if math.Abs(s-ref[i]) > 1e-9 {
+			t.Fatalf("rank %d: score %v, want %v", i, s, ref[i])
+		}
+	}
+}
+
+func TestCompileSortPlan(t *testing.T) {
+	e := newEnv(t, 2, 500, 0.05)
+	score := expr.Sum(
+		expr.ScoreTerm{Weight: 1, E: expr.Col("T1", "score")},
+		expr.ScoreTerm{Weight: 1, E: expr.Col("T2", "score")},
+	)
+	hj := &Node{
+		Op:       OpHashJoin,
+		Children: []*Node{e.seqScan("T1"), e.seqScan("T2")},
+		EqPreds:  []logical.JoinPred{{L: expr.Col("T1", "key"), R: expr.Col("T2", "key")}},
+		Card:     e.sel * 500 * 500,
+		Sel:      e.sel,
+		P:        &params,
+	}
+	sortNode := &Node{
+		Op:       OpSort,
+		Children: []*Node{hj},
+		SortKeys: []exec.SortKey{{E: score, Desc: true}},
+		Card:     hj.Card,
+		P:        &params,
+		Props:    Props{Order: RankOrder("T1", "T2")},
+	}
+	op, err := Compile(e.cat, sortNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Descending combined score.
+	prev := math.Inf(1)
+	for _, tup := range got {
+		s := tup[2].AsFloat() + tup[5].AsFloat()
+		if s > prev+1e-9 {
+			t.Fatal("sort plan output out of order")
+		}
+		prev = s
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	e := newEnv(t, 1, 10, 0.1)
+	bad := &Node{Op: OpSeqScan, Table: "ZZ", P: &params}
+	if _, err := Compile(e.cat, bad); err == nil {
+		t.Error("unknown table must fail")
+	}
+	noIdx := &Node{Op: OpIndexScan, Table: "T1", P: &params}
+	if _, err := Compile(e.cat, noIdx); err == nil {
+		t.Error("index scan without index must fail")
+	}
+	noKey := &Node{Op: OpHashJoin, Children: []*Node{e.seqScan("T1"), e.seqScan("T1")}, P: &params}
+	if _, err := Compile(e.cat, noKey); err == nil {
+		t.Error("hash join without keys must fail")
+	}
+}
+
+func TestExplainOutput(t *testing.T) {
+	e := newEnv(t, 2, 1000, 0.01)
+	j := e.hrjn(e.scoreScan(t, "T1"), e.scoreScan(t, "T2"), "T1", "T2")
+	out := Explain(j)
+	for _, want := range []string{"HRJN", "IndexScan", "T1.key = T2.key", "rank:T1,T2", "pipelined"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q in:\n%s", want, out)
+		}
+	}
+	outK := ExplainK(j, 10)
+	if !strings.Contains(outK, "top-k = 10") {
+		t.Error("ExplainK missing header")
+	}
+}
+
+func TestEstimateTreeMirrorsRankJoins(t *testing.T) {
+	e := newEnv(t, 3, 1000, 0.01)
+	j12 := e.hrjn(e.scoreScan(t, "T1"), e.scoreScan(t, "T2"), "T1", "T2")
+	top := e.hrjn(j12, e.scoreScan(t, "T3"), "T1", "T3")
+	top.LLeaves = 2
+	est := top.EstimateTree()
+	if est.Leaves() != 3 {
+		t.Fatalf("estimate tree leaves = %d", est.Leaves())
+	}
+	if est.Left.IsLeaf() || !est.Right.IsLeaf() {
+		t.Error("estimate tree shape mismatch")
+	}
+}
+
+func TestPropagateKThroughRankJoins(t *testing.T) {
+	e := newEnv(t, 3, 1000, 0.01)
+	j12 := e.hrjn(e.scoreScan(t, "T1"), e.scoreScan(t, "T2"), "T1", "T2")
+	top := e.hrjn(j12, e.scoreScan(t, "T3"), "T1", "T3")
+	top.LLeaves = 2
+	limit := &Node{Op: OpLimit, Children: []*Node{top}, K: 10, Card: 10, P: &params, Props: top.Props}
+
+	kByNode := map[*Node]float64{}
+	PropagateK(limit, 10, func(n *Node, k float64) { kByNode[n] = k })
+	if kByNode[limit] != 10 || kByNode[top] != 10 {
+		t.Fatalf("root k = %v / %v", kByNode[limit], kByNode[top])
+	}
+	dL, dR := top.Depths(10)
+	if kByNode[j12] != dL {
+		t.Errorf("child k = %v, want parent's dL %v", kByNode[j12], dL)
+	}
+	if kByNode[top.Right()] != dR {
+		t.Errorf("right leaf k = %v, want dR %v", kByNode[top.Right()], dR)
+	}
+	// Grandchildren get the child's depths in turn.
+	gdL, _ := j12.Depths(dL)
+	if kByNode[j12.Left()] != gdL {
+		t.Errorf("grandchild k = %v, want %v", kByNode[j12.Left()], gdL)
+	}
+}
+
+func TestPropagateKThroughBlocking(t *testing.T) {
+	e := newEnv(t, 1, 500, 0.1)
+	scan := e.seqScan("T1")
+	s := &Node{Op: OpSort, Children: []*Node{scan}, Card: 500, P: &params}
+	kByNode := map[*Node]float64{}
+	PropagateK(s, 5, func(n *Node, k float64) { kByNode[n] = k })
+	if kByNode[s] != 5 {
+		t.Errorf("sort k = %v", kByNode[s])
+	}
+	if kByNode[scan] != 500 {
+		t.Errorf("blocking sort must demand the full child: %v", kByNode[scan])
+	}
+}
+
+func TestCompileTracedVisitsEveryNode(t *testing.T) {
+	e := newEnv(t, 2, 300, 0.05)
+	j := e.hrjn(e.scoreScan(t, "T1"), e.scoreScan(t, "T2"), "T1", "T2")
+	var visited []OpType
+	op, err := CompileTraced(e.cat, j, func(n *Node, _ exec.Operator) {
+		visited = append(visited, n.Op)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != 3 {
+		t.Fatalf("visited %d nodes, want 3", len(visited))
+	}
+	if _, ok := op.(*exec.HRJN); !ok {
+		t.Error("root operator should be HRJN")
+	}
+}
+
+func TestTopKNodeCostAndCompile(t *testing.T) {
+	e := newEnv(t, 1, 50000, 0.01)
+	scan := e.seqScan("T1")
+	score := expr.Sum(expr.ScoreTerm{Weight: 1, E: expr.Col("T1", "score")})
+	topk := &Node{Op: OpTopK, Children: []*Node{scan}, Score: score, K: 10,
+		Card: 10, P: &params, Props: Props{Order: RankOrder("T1")}}
+	full := &Node{Op: OpSort, Children: []*Node{scan},
+		SortKeys: []exec.SortKey{{E: score, Desc: true}},
+		Card:     50000, P: &params, Props: Props{Order: RankOrder("T1")}}
+	if topk.Cost(10) >= full.Cost(10) {
+		t.Errorf("bounded-heap top-k (%v) should undercut full sort (%v)",
+			topk.Cost(10), full.Cost(10))
+	}
+	op, err := Compile(e.cat, topk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("TopK produced %d rows", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i][2].AsFloat() > got[i-1][2].AsFloat() {
+			t.Fatal("TopK output out of order")
+		}
+	}
+}
+
+func TestAggregateNodeCompileAndCost(t *testing.T) {
+	e := newEnv(t, 1, 2000, 0.01)
+	scan := e.seqScan("T1")
+	groupBy := []expr.ColRef{expr.Col("T1", "key")}
+	aggs := []exec.AggSpec{{Func: exec.AggCount, As: "c"}}
+	hash := &Node{Op: OpHashAgg, Children: []*Node{scan}, GroupBy: groupBy,
+		Aggs: aggs, Card: 100, P: &params}
+	sorted := &Node{Op: OpSortAgg, Children: []*Node{
+		{Op: OpSort, Children: []*Node{scan}, SortKeys: []exec.SortKey{{E: groupBy[0]}},
+			Card: 2000, P: &params},
+	}, GroupBy: groupBy, Aggs: aggs, Card: 100, P: &params}
+	if hash.Cost(1) != hash.Cost(100) {
+		t.Error("hash aggregate is blocking: k-independent")
+	}
+	if sorted.Cost(1) >= sorted.Cost(100) {
+		t.Error("sorted aggregate streams: cheaper for fewer groups? at least non-decreasing")
+	}
+	for _, n := range []*Node{hash, sorted} {
+		op, err := Compile(e.cat, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := exec.Collect(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			t.Fatal("aggregate produced nothing")
+		}
+	}
+}

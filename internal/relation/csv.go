@@ -1,0 +1,143 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV serializes the relation: a header row of "name:KIND" cells
+// followed by one row per tuple. NULLs serialize as empty cells (so string
+// columns cannot round-trip empty strings — a documented limitation).
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	sch := r.Schema()
+	header := make([]string, sch.Len())
+	for i := 0; i < sch.Len(); i++ {
+		c := sch.Column(i)
+		header[i] = c.Name + ":" + c.Kind.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, sch.Len())
+	for _, tup := range r.Tuples() {
+		for i, v := range tup {
+			row[i] = encodeValue(v)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func encodeValue(v Value) string {
+	switch v.Kind() {
+	case KindNull:
+		return ""
+	case KindInt:
+		return strconv.FormatInt(v.AsInt(), 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)
+	case KindString:
+		return v.AsString()
+	case KindBool:
+		if v.AsBool() {
+			return "true"
+		}
+		return "false"
+	}
+	return ""
+}
+
+// ReadCSV parses a relation written by WriteCSV (or hand-authored in the
+// same format), qualifying every column with the given table name.
+func ReadCSV(rd io.Reader, name string) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	cols := make([]Column, len(header))
+	for i, h := range header {
+		parts := strings.SplitN(h, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("relation: header cell %q lacks a :KIND suffix", h)
+		}
+		kind, err := parseKind(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = Column{Table: name, Name: strings.TrimSpace(parts[0]), Kind: kind}
+	}
+	rel := New(name, NewSchema(cols...))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+		}
+		tup := make(Tuple, len(cols))
+		for i, cell := range rec {
+			v, err := decodeValue(cell, cols[i].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("relation: CSV line %d column %s: %w", line, cols[i].Name, err)
+			}
+			tup[i] = v
+		}
+		if err := rel.Append(tup); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+func parseKind(s string) (Kind, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "INTEGER", "INT":
+		return KindInt, nil
+	case "DOUBLE", "FLOAT":
+		return KindFloat, nil
+	case "VARCHAR", "STRING", "TEXT":
+		return KindString, nil
+	case "BOOLEAN", "BOOL":
+		return KindBool, nil
+	default:
+		return KindNull, fmt.Errorf("relation: unknown column kind %q", s)
+	}
+}
+
+func decodeValue(cell string, kind Kind) (Value, error) {
+	if cell == "" {
+		return Null(), nil
+	}
+	switch kind {
+	case KindInt:
+		i, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return Null(), err
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return Null(), err
+		}
+		return Float(f), nil
+	case KindString:
+		return String_(cell), nil
+	case KindBool:
+		b, err := strconv.ParseBool(cell)
+		if err != nil {
+			return Null(), err
+		}
+		return Bool(b), nil
+	}
+	return Null(), fmt.Errorf("cannot decode into kind %v", kind)
+}

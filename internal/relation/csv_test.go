@@ -1,0 +1,105 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func csvFixture() *Relation {
+	sch := NewSchema(
+		Column{Table: "R", Name: "name", Kind: KindString},
+		Column{Table: "R", Name: "city_id", Kind: KindInt},
+		Column{Table: "R", Name: "rating", Kind: KindFloat},
+		Column{Table: "R", Name: "open", Kind: KindBool},
+	)
+	r := New("R", sch)
+	r.MustAppend(Tuple{String_("alpha"), Int(1), Float(4.5), Bool(true)})
+	r.MustAppend(Tuple{String_("beta"), Int(2), Float(3.25), Bool(false)})
+	r.MustAppend(Tuple{String_("gamma"), Null(), Null(), Bool(true)})
+	return r
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := csvFixture()
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cardinality() != orig.Cardinality() {
+		t.Fatalf("cardinality %d, want %d", got.Cardinality(), orig.Cardinality())
+	}
+	if got.Schema().String() != orig.Schema().String() {
+		t.Fatalf("schema %s, want %s", got.Schema(), orig.Schema())
+	}
+	for i := 0; i < orig.Cardinality(); i++ {
+		for j := range orig.Tuple(i) {
+			if !got.Tuple(i)[j].Equal(orig.Tuple(i)[j]) {
+				t.Fatalf("row %d col %d: %v, want %v", i, j, got.Tuple(i)[j], orig.Tuple(i)[j])
+			}
+		}
+	}
+}
+
+func TestReadCSVHandAuthored(t *testing.T) {
+	src := `name:STRING,city:INT,rating:FLOAT
+le bistro,3,4.8
+pizza pit,3,3.9
+`
+	rel, err := ReadCSV(strings.NewReader(src), "Restaurants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cardinality() != 2 {
+		t.Fatalf("rows = %d", rel.Cardinality())
+	}
+	if _, err := rel.Schema().Resolve("Restaurants", "rating"); err != nil {
+		t.Fatal(err)
+	}
+	if rel.Tuple(0)[0].AsString() != "le bistro" || rel.Tuple(1)[2].AsFloat() != 3.9 {
+		t.Fatal("values mismatch")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"no kind":     "name,city\nx,1\n",
+		"bad kind":    "name:BLOB\nx\n",
+		"bad int":     "n:INT\nxyz\n",
+		"bad float":   "f:FLOAT\nab\n",
+		"bad bool":    "b:BOOL\nmaybe\n",
+		"ragged rows": "a:INT,b:INT\n1\n",
+		"empty input": "",
+	}
+	for name, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src), "T"); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestCSVNullsRoundTrip(t *testing.T) {
+	src := "x:INT,y:FLOAT\n,\n5,1.5\n"
+	rel, err := ReadCSV(strings.NewReader(src), "N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Tuple(0)[0].IsNull() || !rel.Tuple(0)[1].IsNull() {
+		t.Fatal("empty cells must decode as NULL")
+	}
+	var buf bytes.Buffer
+	if err := rel.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadCSV(&buf, "N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Tuple(0)[0].IsNull() || again.Tuple(1)[0].AsInt() != 5 {
+		t.Fatal("NULL round trip failed")
+	}
+}

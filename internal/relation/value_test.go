@@ -1,0 +1,156 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Int(7), KindInt},
+		{Float(3.5), KindFloat},
+		{String_("x"), KindString},
+		{Bool(true), KindBool},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind() = %v, want %v", c.v.Kind(), c.kind)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if Int(42).AsInt() != 42 {
+		t.Error("AsInt failed")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("AsFloat failed")
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("AsFloat should widen ints")
+	}
+	if String_("hi").AsString() != "hi" {
+		t.Error("AsString failed")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("AsBool failed")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AsInt on string", func() { String_("x").AsInt() })
+	mustPanic("AsFloat on bool", func() { Bool(true).AsFloat() })
+	mustPanic("AsString on int", func() { Int(1).AsString() })
+	mustPanic("AsBool on float", func() { Float(1).AsBool() })
+	mustPanic("compare string vs bool", func() { String_("x").Compare(Bool(true)) })
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Float(1.5), Int(2), -1},
+		{Int(2), Float(1.5), 1},
+		{Float(2), Int(2), 0},
+		{String_("a"), String_("b"), -1},
+		{String_("b"), String_("b"), 0},
+		{Bool(false), Bool(true), -1},
+		{Null(), Int(0), -1},
+		{Int(0), Null(), 1},
+		{Null(), Null(), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueEqualAndHashKeyAgree(t *testing.T) {
+	// Property: Equal values must share a HashKey; this is what hash joins
+	// rely on.
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Float(float64(b))
+		if va.Equal(vb) != (va.HashKey() == vb.HashKey()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Int(3).HashKey() != Float(3).HashKey() {
+		t.Error("Int(3) and Float(3) must share a hash key")
+	}
+	if Null().HashKey() != nil {
+		t.Error("Null hash key should be nil")
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]Value, 200)
+	for i := range vals {
+		switch rng.Intn(3) {
+		case 0:
+			vals[i] = Int(rng.Int63n(20))
+		case 1:
+			vals[i] = Float(float64(rng.Intn(20)))
+		default:
+			vals[i] = Null()
+		}
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if a.Compare(b) != -b.Compare(a) {
+				t.Fatalf("Compare not antisymmetric for %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(-5), "-5"},
+		{Float(0.25), "0.25"},
+		{String_("ab"), "'ab'"},
+		{Bool(true), "TRUE"},
+		{Bool(false), "FALSE"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "INTEGER" || KindFloat.String() != "DOUBLE" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind should render something")
+	}
+}

@@ -1,0 +1,142 @@
+// Package sqlparse parses the SQL subset the paper's queries use: the
+// SQL99 windowed form
+//
+//	WITH R AS (
+//	    SELECT A.c1 AS x, B.c2 AS y,
+//	           rank() OVER (ORDER BY (0.3*A.c1 + 0.7*B.c2)) AS rank
+//	    FROM A, B, C
+//	    WHERE A.c1 = B.c1 AND B.c2 = C.c2)
+//	SELECT x, y, rank FROM R WHERE rank <= 5;
+//
+// and the plain form
+//
+//	SELECT ... FROM A, B WHERE ... ORDER BY expr [DESC] LIMIT k;
+//
+// producing a validated logical.Query. Following the paper, rank() orders
+// descending by combined score (rank 1 is the best match) unless ASC is
+// written explicitly.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"WITH": true, "AS": true, "SELECT": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "ORDER": true, "BY": true, "OVER": true,
+	"LIMIT": true, "ASC": true, "DESC": true, "GROUP": true,
+}
+
+// token is one lexical unit. For keywords, text is upper-cased; identifiers
+// keep their original spelling.
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (isIdentChar(rune(input[i]))) {
+				i++
+			}
+			word := input[start:i]
+			if keywords[strings.ToUpper(word)] {
+				out = append(out, token{tokKeyword, strings.ToUpper(word), start})
+			} else {
+				out = append(out, token{tokIdent, word, start})
+			}
+		case unicode.IsDigit(c) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			seenDot := false
+			for i < n {
+				ch := rune(input[i])
+				if ch == '.' {
+					if seenDot {
+						break
+					}
+					seenDot = true
+					i++
+					continue
+				}
+				if !unicode.IsDigit(ch) {
+					break
+				}
+				i++
+			}
+			out = append(out, token{tokNumber, input[start:i], start})
+		case c == '\'':
+			i++
+			start := i
+			for i < n && input[i] != '\'' {
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sqlparse: unterminated string at %d", start-1)
+			}
+			out = append(out, token{tokString, input[start:i], start - 1})
+			i++
+		case strings.ContainsRune("(),*+-/=;", c):
+			out = append(out, token{tokSymbol, string(c), i})
+			i++
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				out = append(out, token{tokSymbol, input[i : i+2], i})
+				i += 2
+			} else {
+				out = append(out, token{tokSymbol, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				out = append(out, token{tokSymbol, ">=", i})
+				i += 2
+			} else {
+				out = append(out, token{tokSymbol, ">", i})
+				i++
+			}
+		case c == '.':
+			out = append(out, token{tokSymbol, ".", i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at %d", c, i)
+		}
+	}
+	out = append(out, token{tokEOF, "", n})
+	return out, nil
+}
+
+func isIdentChar(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}

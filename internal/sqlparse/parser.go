@@ -1,0 +1,686 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rankopt/internal/expr"
+	"rankopt/internal/logical"
+	"rankopt/internal/relation"
+)
+
+// Parse converts a SQL statement in the supported subset into a validated
+// logical query.
+func Parse(sql string) (*logical.Query, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: "+format+" (near %s)", append(args, p.cur())...)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errf("expected %q", s)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected identifier")
+	}
+	return p.next().text, nil
+}
+
+// selectItem is a parsed projection element.
+type selectItem struct {
+	e       expr.Expr
+	as      string
+	isRank  bool // rank() OVER (ORDER BY ...)
+	desc    bool
+	star    bool
+	aggFunc string // non-empty for aggregate items (COUNT/SUM/MIN/MAX/AVG)
+}
+
+// statement parses either the WITH-wrapped ranked query or a plain SELECT.
+func (p *parser) statement() (*logical.Query, error) {
+	if p.acceptKeyword("WITH") {
+		return p.withStatement()
+	}
+	return p.plainSelect()
+}
+
+// withStatement parses
+//
+//	WITH name AS ( <inner select> ) SELECT <outer items> FROM name
+//	[WHERE rank <= k];
+func (p *parser) withStatement() (*logical.Query, error) {
+	cteName, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	q, items, err := p.innerSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+
+	// Outer query: SELECT cols FROM cteName WHERE rank <= k.
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	var outer []string
+	outerStar := false
+	for {
+		if p.acceptSymbol("*") {
+			outerStar = true
+		} else {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			outer = append(outer, name)
+		}
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if from != cteName {
+		return nil, fmt.Errorf("sqlparse: outer FROM %q does not match WITH name %q", from, cteName)
+	}
+	if p.acceptKeyword("WHERE") {
+		k, err := p.rankBound()
+		if err != nil {
+			return nil, err
+		}
+		q.K = k
+	}
+	p.acceptSymbol(";")
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input")
+	}
+
+	// Map outer column names through the inner aliases.
+	aliases := map[string]expr.Expr{}
+	for _, it := range items {
+		if it.isRank {
+			aliases[it.as] = expr.Col("", "rank")
+			continue
+		}
+		aliases[it.as] = it.e
+	}
+	if outerStar {
+		for _, it := range items {
+			q.Select = append(q.Select, logical.SelectItem{E: aliases[it.as], As: it.as})
+		}
+	} else {
+		for _, name := range outer {
+			e, ok := aliases[name]
+			if !ok {
+				return nil, fmt.Errorf("sqlparse: outer column %q not defined in %s", name, cteName)
+			}
+			q.Select = append(q.Select, logical.SelectItem{E: e, As: name})
+		}
+	}
+	return q, nil
+}
+
+// rankBound parses "rank <= k" (or "rank < k").
+func (p *parser) rankBound() (int, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return 0, err
+	}
+	strict := false
+	switch {
+	case p.acceptSymbol("<="):
+	case p.acceptSymbol("<"):
+		strict = true
+	default:
+		return 0, p.errf("expected <= or < after %q", name)
+	}
+	if p.cur().kind != tokNumber {
+		return 0, p.errf("expected numeric rank bound")
+	}
+	v, err := strconv.Atoi(p.next().text)
+	if err != nil {
+		return 0, fmt.Errorf("sqlparse: rank bound: %v", err)
+	}
+	if strict {
+		v--
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("sqlparse: rank bound must be positive, got %d", v)
+	}
+	return v, nil
+}
+
+// innerSelect parses the CTE body: SELECT items FROM tables [WHERE preds].
+func (p *parser) innerSelect() (*logical.Query, []selectItem, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, nil, err
+	}
+	items, err := p.selectList()
+	if err != nil {
+		return nil, nil, err
+	}
+	q := &logical.Query{}
+	if err := p.fromWhere(q); err != nil {
+		return nil, nil, err
+	}
+	for _, it := range items {
+		if !it.isRank {
+			continue
+		}
+		score, err := toScoreSum(it.e)
+		if err != nil {
+			return nil, nil, err
+		}
+		if it.desc {
+			return nil, nil, fmt.Errorf("sqlparse: ascending rank() is not a top-k query")
+		}
+		q.Score = score
+	}
+	if len(q.Score.Terms) == 0 {
+		return nil, nil, fmt.Errorf("sqlparse: WITH query needs a rank() OVER (ORDER BY ...) item")
+	}
+	return q, items, nil
+}
+
+// selectList parses projection items including the rank() window function.
+func (p *parser) selectList() ([]selectItem, error) {
+	var items []selectItem
+	for {
+		var it selectItem
+		if p.acceptSymbol("*") {
+			it.star = true
+		} else if p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, "rank") &&
+			p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+			p.pos += 2
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("OVER"); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ORDER"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			// The paper's rank() is a top-k rank: descending by default.
+			it.desc = p.acceptKeyword("ASC")
+			p.acceptKeyword("DESC")
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			it.e = e
+			it.isRank = true
+			it.as = "rank"
+		} else if p.cur().kind == tokIdent && logical.AggFuncs[strings.ToUpper(p.cur().text)] &&
+			p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+			it.aggFunc = strings.ToUpper(p.next().text)
+			p.pos++ // consume "("
+			if p.acceptSymbol("*") {
+				if it.aggFunc != "COUNT" {
+					return nil, p.errf("%s(*) is not supported", it.aggFunc)
+				}
+			} else {
+				e, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				it.e = e
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			it.as = strings.ToLower(it.aggFunc)
+		} else {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			it.e = e
+			if c, ok := e.(expr.ColRef); ok {
+				it.as = c.Name
+			}
+		}
+		if p.acceptKeyword("AS") {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			it.as = name
+		}
+		if !it.star && it.as == "" {
+			return nil, p.errf("select item needs an alias")
+		}
+		items = append(items, it)
+		if !p.acceptSymbol(",") {
+			return items, nil
+		}
+	}
+}
+
+// fromWhere parses FROM tables and the WHERE clause, splitting conjuncts
+// into join predicates and single-table filters.
+func (p *parser) fromWhere(q *logical.Query) error {
+	if err := p.expectKeyword("FROM"); err != nil {
+		return err
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		q.Tables = append(q.Tables, name)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if !p.acceptKeyword("WHERE") {
+		return nil
+	}
+	pred, err := p.expression()
+	if err != nil {
+		return err
+	}
+	for _, c := range expr.Conjuncts(expr.Simplify(pred)) {
+		if l, r, ok := expr.EquiJoinCols(c); ok {
+			q.Joins = append(q.Joins, logical.JoinPred{L: l, R: r})
+			continue
+		}
+		// Constant conjuncts: TRUE vanishes, FALSE is a user error worth
+		// naming, anything else falls through to validation.
+		if con, ok := c.(expr.Const); ok && con.V.Kind() == relation.KindBool {
+			if con.V.AsBool() {
+				continue
+			}
+			return fmt.Errorf("sqlparse: WHERE clause is always false")
+		}
+		q.Filters = append(q.Filters, c)
+	}
+	return nil
+}
+
+// plainSelect parses SELECT items FROM tables [WHERE preds]
+// [ORDER BY e [DESC]] [LIMIT k].
+func (p *parser) plainSelect() (*logical.Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	items, err := p.selectList()
+	if err != nil {
+		return nil, err
+	}
+	q := &logical.Query{}
+	if err := p.fromWhere(q); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			col, ok := e.(expr.ColRef)
+			if !ok {
+				return nil, p.errf("GROUP BY supports plain columns only")
+			}
+			q.GroupBy = append(q.GroupBy, col)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		desc := false
+		if p.acceptKeyword("DESC") {
+			desc = true
+		} else {
+			p.acceptKeyword("ASC")
+		}
+		if col, ok := e.(expr.ColRef); ok {
+			q.OrderBy = col
+			q.OrderDesc = desc
+		} else {
+			score, err := toScoreSum(e)
+			if err != nil {
+				return nil, err
+			}
+			if !desc {
+				return nil, fmt.Errorf("sqlparse: ascending score ORDER BY is not a top-k ranking; use DESC")
+			}
+			q.Score = score
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("expected LIMIT count")
+		}
+		v, err := strconv.Atoi(p.next().text)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("sqlparse: bad LIMIT %q", p.toks[p.pos-1].text)
+		}
+		q.K = v
+	}
+	p.acceptSymbol(";")
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input")
+	}
+	if len(q.GroupBy) > 0 {
+		// Grouped query: aggregate items become Aggs; plain items must be
+		// group columns (the engine outputs group columns, then aggregates).
+		for _, it := range items {
+			if it.aggFunc != "" {
+				q.Aggs = append(q.Aggs, logical.AggItem{Func: it.aggFunc, Arg: it.e, As: it.as})
+				continue
+			}
+			if it.star {
+				return nil, fmt.Errorf("sqlparse: * is not valid in a grouped select list")
+			}
+			col, ok := it.e.(expr.ColRef)
+			if !ok || !containsCol(q.GroupBy, col) {
+				return nil, fmt.Errorf("sqlparse: select item %s is not a group column or aggregate", it.e)
+			}
+		}
+		return q, nil
+	}
+	for _, it := range items {
+		if it.aggFunc != "" {
+			return nil, fmt.Errorf("sqlparse: aggregate %s requires GROUP BY", it.aggFunc)
+		}
+		if it.star {
+			continue // empty Select means all columns
+		}
+		q.Select = append(q.Select, logical.SelectItem{E: it.e, As: it.as})
+	}
+	return q, nil
+}
+
+func containsCol(cols []expr.ColRef, c expr.ColRef) bool {
+	for _, g := range cols {
+		if g == c {
+			return true
+		}
+	}
+	return false
+}
+
+// expression parses with precedence OR < AND < comparison < add < mul < unary.
+func (p *parser) expression() (expr.Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (expr.Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.Bin(expr.OpOr, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (expr.Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.Bin(expr.OpAnd, l, r)
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]expr.Op{
+	"=": expr.OpEq, "<>": expr.OpNe, "<": expr.OpLt, "<=": expr.OpLe,
+	">": expr.OpGt, ">=": expr.OpGe,
+}
+
+func (p *parser) cmpExpr() (expr.Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokSymbol {
+		if op, ok := cmpOps[p.cur().text]; ok {
+			p.pos++
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return expr.Bin(op, l, r), nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (expr.Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("+"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.Bin(expr.OpAdd, l, r)
+		case p.acceptSymbol("-"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.Bin(expr.OpSub, l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) mulExpr() (expr.Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("*"):
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.Bin(expr.OpMul, l, r)
+		case p.acceptSymbol("/"):
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = expr.Bin(expr.OpDiv, l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (expr.Expr, error) {
+	if p.acceptSymbol("-") {
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Neg{E: e}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr.Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqlparse: bad number %q", t.text)
+			}
+			return expr.FloatLit(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sqlparse: bad number %q", t.text)
+		}
+		return expr.IntLit(i), nil
+	case tokString:
+		p.pos++
+		return expr.StrLit(t.text), nil
+	case tokIdent:
+		p.pos++
+		if p.acceptSymbol(".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return expr.Col(t.text, col), nil
+		}
+		return expr.Col("", t.text), nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("expected expression")
+}
+
+// toScoreSum decomposes an additive expression into weighted per-table
+// score terms: each addend is Const*E, E*Const, or a bare E (weight 1).
+func toScoreSum(e expr.Expr) (expr.ScoreSum, error) {
+	var terms []expr.ScoreTerm
+	var flatten func(expr.Expr) error
+	flatten = func(e expr.Expr) error {
+		if b, ok := e.(expr.Binary); ok && b.Op == expr.OpAdd {
+			if err := flatten(b.L); err != nil {
+				return err
+			}
+			return flatten(b.R)
+		}
+		w := 1.0
+		inner := e
+		if b, ok := e.(expr.Binary); ok && b.Op == expr.OpMul {
+			if c, ok := b.L.(expr.Const); ok && c.V.Numeric() {
+				w = c.V.AsFloat()
+				inner = b.R
+			} else if c, ok := b.R.(expr.Const); ok && c.V.Numeric() {
+				w = c.V.AsFloat()
+				inner = b.L
+			}
+		}
+		ts := expr.Tables(inner)
+		if len(ts) != 1 {
+			return fmt.Errorf("sqlparse: ranking term %s must reference exactly one table", inner)
+		}
+		terms = append(terms, expr.ScoreTerm{Weight: w, E: inner})
+		return nil
+	}
+	if err := flatten(e); err != nil {
+		return expr.ScoreSum{}, err
+	}
+	return expr.Sum(terms...), nil
+}

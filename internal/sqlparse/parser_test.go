@@ -1,0 +1,282 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"rankopt/internal/expr"
+)
+
+// q1 is the paper's Query Q1 rewritten over our generated schema.
+const q1 = `
+WITH RankedAB AS (
+    SELECT A.id AS x, B.id AS y,
+           rank() OVER (ORDER BY (0.3*A.score + 0.7*B.score)) AS rank
+    FROM A, B, C
+    WHERE A.key = B.key AND B.key = C.key)
+SELECT x, y, rank FROM RankedAB WHERE rank <= 5;
+`
+
+func TestParseQ1(t *testing.T) {
+	q, err := Parse(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Tables) != 3 || q.Tables[0] != "A" || q.Tables[2] != "C" {
+		t.Fatalf("tables = %v", q.Tables)
+	}
+	if len(q.Joins) != 2 {
+		t.Fatalf("joins = %v", q.Joins)
+	}
+	if q.Joins[0].String() != "A.key = B.key" {
+		t.Errorf("join[0] = %s", q.Joins[0])
+	}
+	if q.K != 5 {
+		t.Errorf("K = %d", q.K)
+	}
+	if !q.Ranking() || len(q.Score.Terms) != 2 {
+		t.Fatalf("score = %v", q.Score)
+	}
+	if q.Score.String() != "0.3*A.score + 0.7*B.score" {
+		t.Errorf("score = %q", q.Score.String())
+	}
+	if len(q.Select) != 3 || q.Select[0].As != "x" || q.Select[2].As != "rank" {
+		t.Fatalf("select = %v", q.Select)
+	}
+	// rank output maps to the unqualified rank column.
+	if c, ok := q.Select[2].E.(expr.ColRef); !ok || c.Name != "rank" {
+		t.Error("rank select item must reference the rank column")
+	}
+}
+
+func TestParseQ2AllTermsRanked(t *testing.T) {
+	sql := `
+WITH R AS (
+    SELECT A.c1 AS x, rank() OVER (ORDER BY (0.3*A.score + 0.3*B.score + 0.3*C.score)) AS r
+    FROM A, B, C
+    WHERE A.key = B.key AND B.key = C.key)
+SELECT x, r FROM R WHERE rank <= 10;`
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Score.Terms) != 3 {
+		t.Fatalf("terms = %d", len(q.Score.Terms))
+	}
+	if q.K != 10 {
+		t.Errorf("K = %d", q.K)
+	}
+	// "r" aliases rank().
+	if c, ok := q.Select[1].E.(expr.ColRef); !ok || c.Name != "rank" {
+		t.Error("aliased rank item must map to rank column")
+	}
+}
+
+func TestParsePlainTopK(t *testing.T) {
+	q, err := Parse(`SELECT * FROM A, B WHERE A.key = B.key
+	                 ORDER BY A.score + B.score DESC LIMIT 7;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.K != 7 || !q.Ranking() {
+		t.Fatalf("K=%d ranking=%v", q.K, q.Ranking())
+	}
+	if len(q.Score.Terms) != 2 || q.Score.Terms[0].Weight != 1 {
+		t.Fatalf("score = %v", q.Score)
+	}
+	if len(q.Select) != 0 {
+		t.Error("SELECT * keeps all columns")
+	}
+}
+
+func TestParsePlainOrderByColumn(t *testing.T) {
+	q, err := Parse(`SELECT A.id AS i FROM A, B WHERE A.key = B.key ORDER BY A.score DESC LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Ranking() {
+		t.Error("single column ORDER BY is not a ranking query")
+	}
+	if q.OrderBy != expr.Col("A", "score") || !q.OrderDesc {
+		t.Errorf("orderby = %v desc=%v", q.OrderBy, q.OrderDesc)
+	}
+}
+
+func TestParseFiltersSplitFromJoins(t *testing.T) {
+	q, err := Parse(`SELECT * FROM A, B
+	    WHERE A.key = B.key AND A.score > 0.5 AND B.id <> 3
+	    ORDER BY A.score + B.score DESC LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Joins) != 1 || len(q.Filters) != 2 {
+		t.Fatalf("joins=%d filters=%d", len(q.Joins), len(q.Filters))
+	}
+}
+
+func TestParseStrictRankBound(t *testing.T) {
+	sql := strings.Replace(q1, "rank <= 5", "rank < 5", 1)
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.K != 4 {
+		t.Errorf("rank < 5 means K=4, got %d", q.K)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse(`select * from A, B where A.key = B.key order by A.score + B.score desc limit 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.K != 1 {
+		t.Error("lowercase query should parse")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             ``,
+		"bad keyword":       `FOO BAR`,
+		"missing from":      `SELECT a`,
+		"unterminated str":  `SELECT 'abc FROM A`,
+		"trailing junk":     `SELECT * FROM A; garbage`,
+		"no rank in with":   `WITH R AS (SELECT A.a AS x FROM A) SELECT x FROM R`,
+		"mismatched cte":    `WITH R AS (SELECT rank() OVER (ORDER BY A.s) AS r FROM A) SELECT r FROM Z`,
+		"bad outer col":     `WITH R AS (SELECT rank() OVER (ORDER BY A.s) AS r FROM A) SELECT zz FROM R`,
+		"asc rank":          `WITH R AS (SELECT rank() OVER (ORDER BY A.s ASC) AS r FROM A) SELECT r FROM R`,
+		"asc score orderby": `SELECT * FROM A, B WHERE A.k = B.k ORDER BY A.s + B.s LIMIT 3`,
+		"zero limit":        `SELECT * FROM A ORDER BY A.s DESC LIMIT 0`,
+		"rank bound zero":   strings.Replace(q1, "rank <= 5", "rank <= 0", 1),
+		"mixed-table term":  `SELECT * FROM A, B WHERE A.k = B.k ORDER BY A.s * B.s DESC LIMIT 1`,
+		"unknown character": `SELECT @ FROM A`,
+		"disconnected":      `SELECT * FROM A, B ORDER BY A.s + B.s DESC LIMIT 1`,
+	}
+	for name, sql := range cases {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParseExpressionForms(t *testing.T) {
+	q, err := Parse(`SELECT * FROM A
+	    WHERE A.score >= 0.25 AND (A.id < 10 OR A.id > 90)
+	    ORDER BY A.score DESC LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The OR disjunct stays one filter; the >= is another.
+	if len(q.Filters) != 2 {
+		t.Fatalf("filters = %d", len(q.Filters))
+	}
+	found := false
+	for _, f := range q.Filters {
+		if strings.Contains(f.String(), "OR") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("OR filter lost")
+	}
+}
+
+func TestParseNegativeAndArithmetic(t *testing.T) {
+	q, err := Parse(`SELECT * FROM A WHERE A.x - -1 > 2 / 2 ORDER BY A.s DESC LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 1 {
+		t.Fatal("arithmetic filter lost")
+	}
+}
+
+func TestScoreTermWeightOnRight(t *testing.T) {
+	q, err := Parse(`SELECT * FROM A, B WHERE A.k = B.k
+	    ORDER BY A.s*0.4 + B.s*0.6 DESC LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Score.Terms) != 2 {
+		t.Fatal("terms")
+	}
+	weights := map[string]float64{}
+	for _, tm := range q.Score.Terms {
+		weights[tm.E.String()] = tm.Weight
+	}
+	if weights["A.s"] != 0.4 || weights["B.s"] != 0.6 {
+		t.Errorf("weights = %v", weights)
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	q, err := Parse(`SELECT A.key, COUNT(*), SUM(B.score) AS total
+	    FROM A, B WHERE A.key = B.key
+	    GROUP BY A.key LIMIT 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Grouped() || len(q.GroupBy) != 1 || q.GroupBy[0] != expr.Col("A", "key") {
+		t.Fatalf("groupby = %v", q.GroupBy)
+	}
+	if len(q.Aggs) != 2 {
+		t.Fatalf("aggs = %v", q.Aggs)
+	}
+	if q.Aggs[0].Func != "COUNT" || q.Aggs[0].Arg != nil {
+		t.Errorf("agg[0] = %+v", q.Aggs[0])
+	}
+	if q.Aggs[1].Func != "SUM" || q.Aggs[1].As != "total" {
+		t.Errorf("agg[1] = %+v", q.Aggs[1])
+	}
+	if q.K != 4 {
+		t.Errorf("K = %d", q.K)
+	}
+}
+
+func TestParseGroupByMultiColumn(t *testing.T) {
+	q, err := Parse(`SELECT A.key, A.id, MIN(A.score) FROM A GROUP BY A.key, A.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.GroupBy) != 2 {
+		t.Fatalf("groupby = %v", q.GroupBy)
+	}
+}
+
+func TestParseGroupByErrors(t *testing.T) {
+	cases := map[string]string{
+		"agg without group":   `SELECT COUNT(*) FROM A`,
+		"non-group select":    `SELECT A.id, COUNT(*) FROM A GROUP BY A.key`,
+		"star in grouped":     `SELECT *, COUNT(*) FROM A GROUP BY A.key`,
+		"sum star":            `SELECT A.key, SUM(*) FROM A GROUP BY A.key`,
+		"group by expression": `SELECT A.key, COUNT(*) FROM A GROUP BY 1+2`,
+		"group with orderby":  `SELECT A.key, COUNT(*) FROM A GROUP BY A.key ORDER BY A.key ASC`,
+		"group with score":    `SELECT A.key, COUNT(*) FROM A GROUP BY A.key ORDER BY A.s + A.t DESC`,
+		"no aggregates":       `SELECT A.key FROM A GROUP BY A.key`,
+	}
+	for name, sql := range cases {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParseSimplifiesWhere(t *testing.T) {
+	// Constant-true conjuncts vanish; folded arithmetic shrinks filters.
+	q, err := Parse(`SELECT * FROM A WHERE 1 < 2 AND A.score > 0.5 + 0.25
+	    ORDER BY A.score DESC LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 1 {
+		t.Fatalf("filters = %v", q.Filters)
+	}
+	if q.Filters[0].String() != "(A.score > 0.75)" {
+		t.Errorf("filter = %s, want folded constant", q.Filters[0])
+	}
+	// Always-false WHERE is a named error.
+	if _, err := Parse(`SELECT * FROM A WHERE 1 > 2 ORDER BY A.s DESC LIMIT 1`); err == nil {
+		t.Error("always-false WHERE must error")
+	}
+}

@@ -1,0 +1,202 @@
+// Package workload generates the synthetic datasets used by the examples,
+// tests, and the experiment harness. It substitutes for the paper's video
+// corpus: relations with uniformly distributed score attributes (matching
+// the Section 4 modeling assumption), join-key attributes whose domain size
+// controls join selectivity, and a multi-feature object corpus mirroring the
+// paper's ColorHist/ColorLayout/Texture/Edges similarity inputs.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rankopt/internal/catalog"
+	"rankopt/internal/relation"
+)
+
+// ScoreDist selects the score distribution of a generated relation. The
+// Section 4 estimation model assumes uniform scores; the alternatives exist
+// to measure how gracefully the model degrades (a robustness ablation the
+// paper's synthetic setup cannot ask).
+type ScoreDist uint8
+
+const (
+	// DistUniform draws scores uniformly over the range (the model's
+	// assumption).
+	DistUniform ScoreDist = iota
+	// DistGaussian draws from a normal centered mid-range (σ = range/6),
+	// clipped to the range: dense middle, thin tails.
+	DistGaussian
+	// DistPowerLow draws range·u⁴: scores concentrate near the low end, so
+	// the top of the ranking is sparse and drops quickly.
+	DistPowerLow
+	// DistPowerHigh draws range·(1-u⁴): scores concentrate near the high
+	// end, so the ranking's top is dense and flat.
+	DistPowerHigh
+)
+
+// RankedConfig describes one synthetic ranked relation.
+type RankedConfig struct {
+	// Name is the table name; columns are qualified with it.
+	Name string
+	// N is the cardinality.
+	N int
+	// Selectivity is the target equi-join selectivity on the "key" column
+	// when joined against another relation generated with the same value:
+	// keys are drawn uniformly from a domain of size round(1/Selectivity),
+	// so two independent tuples match with that probability. Zero means a
+	// unique key per tuple (selectivity 1/N).
+	Selectivity float64
+	// ScoreMin and ScoreMax bound the uniform score distribution.
+	// Both zero means [0,1].
+	ScoreMin, ScoreMax float64
+	// Seed drives the deterministic generator.
+	Seed int64
+	// Dist selects the score distribution (default DistUniform).
+	Dist ScoreDist
+}
+
+// Ranked produces a relation with schema (id INTEGER, key INTEGER,
+// score DOUBLE):
+//   - id is the tuple's unique identity 0..N-1 (heap order);
+//   - key is the join attribute with selectivity-controlled domain;
+//   - score is uniform in [ScoreMin, ScoreMax].
+func Ranked(cfg RankedConfig) *relation.Relation {
+	if cfg.N <= 0 {
+		panic(fmt.Sprintf("workload: non-positive cardinality %d", cfg.N))
+	}
+	lo, hi := cfg.ScoreMin, cfg.ScoreMax
+	if lo == 0 && hi == 0 {
+		hi = 1
+	}
+	if hi < lo {
+		panic(fmt.Sprintf("workload: score range [%v,%v] inverted", lo, hi))
+	}
+	domain := cfg.N
+	if cfg.Selectivity > 0 {
+		domain = int(1.0/cfg.Selectivity + 0.5)
+		if domain < 1 {
+			domain = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sch := relation.NewSchema(
+		relation.Column{Table: cfg.Name, Name: "id", Kind: relation.KindInt},
+		relation.Column{Table: cfg.Name, Name: "key", Kind: relation.KindInt},
+		relation.Column{Table: cfg.Name, Name: "score", Kind: relation.KindFloat},
+	)
+	rel := relation.New(cfg.Name, sch)
+	for i := 0; i < cfg.N; i++ {
+		var key int64
+		if cfg.Selectivity > 0 {
+			key = int64(rng.Intn(domain))
+		} else {
+			key = int64(i)
+		}
+		rel.MustAppend(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.Int(key),
+			relation.Float(lo + drawScore(rng, cfg.Dist)*(hi-lo)),
+		})
+	}
+	return rel
+}
+
+// drawScore samples a normalized score in [0,1] under the distribution.
+func drawScore(rng *rand.Rand, dist ScoreDist) float64 {
+	switch dist {
+	case DistGaussian:
+		for {
+			v := 0.5 + rng.NormFloat64()/6
+			if v >= 0 && v <= 1 {
+				return v
+			}
+		}
+	case DistPowerLow:
+		u := rng.Float64()
+		return u * u * u * u
+	case DistPowerHigh:
+		u := rng.Float64()
+		return 1 - u*u*u*u
+	default:
+		return rng.Float64()
+	}
+}
+
+// RankedSet builds m ranked relations named T1..Tm with the shared
+// parameters, each with a distinct derived seed, registers them in a fresh
+// catalog, and creates a descending-capable score index and a key index on
+// each. It returns the catalog and the relation names.
+func RankedSet(m int, cfg RankedConfig) (*catalog.Catalog, []string) {
+	cat := catalog.New()
+	names := make([]string, m)
+	for i := 0; i < m; i++ {
+		c := cfg
+		c.Name = fmt.Sprintf("T%d", i+1)
+		c.Seed = cfg.Seed + int64(i)*7919
+		rel := Ranked(c)
+		cat.AddTable(rel)
+		mustIndex(cat, c.Name, "score")
+		mustIndex(cat, c.Name, "key")
+		names[i] = c.Name
+	}
+	return cat, names
+}
+
+// FeatureNames are the visual features of the paper's video workload.
+var FeatureNames = []string{"ColorHist", "ColorLayout", "Texture", "Edges"}
+
+// CorpusConfig describes the multi-feature similarity corpus.
+type CorpusConfig struct {
+	// Objects is the number of video objects.
+	Objects int
+	// Features is how many feature relations to generate (<= len of
+	// FeatureNames; more get synthetic names FeatN).
+	Features int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Corpus generates one relation per visual feature, each with schema
+// (id INTEGER, score DOUBLE): every object appears in every feature relation
+// with an independent uniform similarity score in [0,1], mimicking the
+// paper's setup where each input ranks the same stored video objects by a
+// single feature. The join condition across features is id = id, whose
+// selectivity is 1/Objects. All relations are registered in a fresh catalog
+// with score indexes (for sorted access) and id indexes (for random access).
+func Corpus(cfg CorpusConfig) (*catalog.Catalog, []string) {
+	if cfg.Objects <= 0 || cfg.Features <= 0 {
+		panic("workload: corpus needs positive objects and features")
+	}
+	cat := catalog.New()
+	names := make([]string, cfg.Features)
+	for f := 0; f < cfg.Features; f++ {
+		name := fmt.Sprintf("Feat%d", f+1)
+		if f < len(FeatureNames) {
+			name = FeatureNames[f]
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(f)*104729))
+		sch := relation.NewSchema(
+			relation.Column{Table: name, Name: "id", Kind: relation.KindInt},
+			relation.Column{Table: name, Name: "score", Kind: relation.KindFloat},
+		)
+		rel := relation.New(name, sch)
+		for i := 0; i < cfg.Objects; i++ {
+			rel.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.Float(rng.Float64()),
+			})
+		}
+		cat.AddTable(rel)
+		mustIndex(cat, name, "score")
+		mustIndex(cat, name, "id")
+		names[f] = name
+	}
+	return cat, names
+}
+
+func mustIndex(cat *catalog.Catalog, table, column string) {
+	if _, err := cat.CreateIndex(table, column, false); err != nil {
+		panic(err)
+	}
+}
