@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all fmt vet build test race bench throughput ci
+
+all: ci
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Concurrent-session throughput sweep; emits BENCH_throughput.json.
+throughput: build
+	$(GO) run ./cmd/raqo-bench -concurrency -out BENCH_throughput.json
+
+ci: fmt vet build race

@@ -4,25 +4,52 @@
 //
 // Usage:
 //
-//	raqo-bench            # list experiments
-//	raqo-bench all        # run everything
-//	raqo-bench fig6 fig13 # run selected experiments
+//	raqo-bench                 # list experiments
+//	raqo-bench all             # run everything
+//	raqo-bench fig6 fig13      # run selected experiments
+//	raqo-bench -concurrency    # concurrent-session throughput sweep,
+//	                           # written to BENCH_throughput.json
+//
+// The -concurrency mode runs a fixed batch of top-k sessions over one shared
+// catalog at each worker count (-workers, default 1,2,4,8), prints the
+// resulting table, and writes the JSON artifact to -out.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"rankopt/internal/bench"
 )
 
 func main() {
-	args := os.Args[1:]
+	var (
+		concurrency = flag.Bool("concurrency", false, "run the concurrent-session throughput sweep")
+		out         = flag.String("out", "BENCH_throughput.json", "artifact path for -concurrency")
+		rows        = flag.Int("rows", 0, "override rows per table (-concurrency)")
+		queries     = flag.Int("queries", 0, "override sessions per point (-concurrency)")
+		workers     = flag.String("workers", "", "override comma-separated worker counts (-concurrency)")
+		optWorkers  = flag.Int("opt-workers", 0, "optimizer DP workers per session (-concurrency)")
+	)
+	flag.Parse()
+
+	if *concurrency {
+		if err := runConcurrency(*out, *rows, *queries, *workers, *optWorkers); err != nil {
+			fmt.Fprintln(os.Stderr, "raqo-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Println("usage: raqo-bench all | <experiment>...")
+		fmt.Println("usage: raqo-bench all | <experiment>... | -concurrency")
 		fmt.Println("experiments:")
 		for _, e := range bench.All() {
-			fmt.Printf("  %-8s %s\n", e.Name, e.What)
+			fmt.Printf("  %-10s %s\n", e.Name, e.What)
 		}
 		return
 	}
@@ -47,4 +74,41 @@ func main() {
 		}
 		fmt.Println(tab)
 	}
+}
+
+func runConcurrency(out string, rows, queries int, workers string, optWorkers int) error {
+	cfg := bench.DefaultThroughputConfig()
+	if rows > 0 {
+		cfg.Rows = rows
+	}
+	if queries > 0 {
+		cfg.Queries = queries
+	}
+	if optWorkers > 0 {
+		cfg.OptWorkers = optWorkers
+	}
+	if workers != "" {
+		cfg.Workers = nil
+		for _, f := range strings.Split(workers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -workers value %q", f)
+			}
+			cfg.Workers = append(cfg.Workers, n)
+		}
+	}
+	rep, err := bench.Throughput(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Table())
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -55,7 +56,7 @@ func main() {
 
 	opts := core.Options{DisableRankAware: *baseline}
 	run := func(sql string) {
-		if err := runQuery(cat, sql, opts, *explainOnly, *maxRows, *stats); err != nil {
+		if err := runQuery(os.Stdout, cat, sql, opts, *explainOnly, *maxRows, *stats); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}
@@ -73,9 +74,25 @@ func main() {
 		}
 		fmt.Print("raqo> ")
 	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "error: reading stdin:", err)
+		os.Exit(1)
+	}
 }
 
-func runQuery(cat *catalog.Catalog, sql string, opts core.Options, explainOnly bool, maxRows int, stats bool) error {
+// predLabel names a rank-join for the stats report. An NRJN over a
+// residual-only predicate has no equi-predicates, so EqPreds may be empty.
+func predLabel(n *plan.Node) string {
+	if len(n.EqPreds) > 0 {
+		return n.EqPreds[0].String()
+	}
+	if n.Pred != nil {
+		return n.Pred.String()
+	}
+	return "<no predicate>"
+}
+
+func runQuery(w io.Writer, cat *catalog.Catalog, sql string, opts core.Options, explainOnly bool, maxRows int, stats bool) error {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
 		return err
@@ -84,8 +101,8 @@ func runQuery(cat *catalog.Catalog, sql string, opts core.Options, explainOnly b
 	if err != nil {
 		return err
 	}
-	fmt.Printf("plans generated=%d kept=%d\n", res.PlansGenerated, res.PlansKept)
-	fmt.Print(plan.Explain(res.Best))
+	fmt.Fprintf(w, "plans generated=%d kept=%d\n", res.PlansGenerated, res.PlansKept)
+	fmt.Fprint(w, plan.Explain(res.Best))
 	if explainOnly {
 		return nil
 	}
@@ -117,12 +134,12 @@ func runQuery(cat *catalog.Catalog, sql string, opts core.Options, explainOnly b
 		plan.PropagateK(res.Best, rootK, func(n *plan.Node, k float64) {
 			kByNode[n] = k
 		})
-		fmt.Println("-- rank-join depths: measured vs estimated --")
+		fmt.Fprintln(w, "-- rank-join depths: measured vs estimated --")
 		for _, r := range rankJoins {
 			dL, dR := r.node.Depths(kByNode[r.node])
 			st := r.op.Stats()
-			fmt.Printf("%s(%s): measured dL=%d dR=%d buffer=%d | estimated dL=%.0f dR=%.0f\n",
-				r.node.Op, r.node.EqPreds[0], st.LeftDepth, st.RightDepth, st.MaxQueue, dL, dR)
+			fmt.Fprintf(w, "%s(%s): measured dL=%d dR=%d buffer=%d | estimated dL=%.0f dR=%.0f\n",
+				r.node.Op, predLabel(r.node), st.LeftDepth, st.RightDepth, st.MaxQueue, dL, dR)
 		}
 	}
 	sch := op.Schema()
@@ -130,18 +147,18 @@ func runQuery(cat *catalog.Catalog, sql string, opts core.Options, explainOnly b
 	for i := 0; i < sch.Len(); i++ {
 		cols = append(cols, sch.Column(i).QualifiedName())
 	}
-	fmt.Println(strings.Join(cols, " | "))
+	fmt.Fprintln(w, strings.Join(cols, " | "))
 	for i, tup := range tuples {
 		if i >= maxRows {
-			fmt.Printf("... (%d more rows)\n", len(tuples)-maxRows)
+			fmt.Fprintf(w, "... (%d more rows)\n", len(tuples)-maxRows)
 			break
 		}
 		var vals []string
 		for _, v := range tup {
 			vals = append(vals, v.String())
 		}
-		fmt.Println(strings.Join(vals, " | "))
+		fmt.Fprintln(w, strings.Join(vals, " | "))
 	}
-	fmt.Printf("(%d rows)\n", len(tuples))
+	fmt.Fprintf(w, "(%d rows)\n", len(tuples))
 	return nil
 }

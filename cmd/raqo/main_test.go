@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rankopt/internal/core"
+	"rankopt/internal/expr"
+	"rankopt/internal/logical"
+	"rankopt/internal/plan"
+	"rankopt/internal/workload"
+)
+
+// predLabel used to index EqPreds[0] unguarded, panicking on rank joins
+// without equi-predicates (NRJN accepts residual-only predicates).
+func TestPredLabelEqPredFreeNRJN(t *testing.T) {
+	n := &plan.Node{
+		Op:   plan.OpNRJN,
+		Pred: expr.Bin(expr.OpLt, expr.Col("A", "key"), expr.Col("B", "key")),
+	}
+	if got := predLabel(n); !strings.Contains(got, "<") || got == "<no predicate>" {
+		t.Errorf("residual-only label = %q, want the predicate text", got)
+	}
+	if got := predLabel(&plan.Node{Op: plan.OpNRJN}); got != "<no predicate>" {
+		t.Errorf("bare node label = %q", got)
+	}
+	withEq := &plan.Node{
+		Op:      plan.OpNRJN,
+		EqPreds: []logical.JoinPred{{L: expr.Col("A", "key"), R: expr.Col("B", "key")}},
+	}
+	if got := predLabel(withEq); !strings.Contains(got, "A.key") {
+		t.Errorf("equi-pred label = %q, want it to name A.key", got)
+	}
+}
+
+// The full stats path: a ranked 2-table top-k query must execute and print
+// the measured-vs-estimated depth report without panicking.
+func TestRunQueryStatsPath(t *testing.T) {
+	cat, _ := workload.RankedSet(2, workload.RankedConfig{N: 5000, Selectivity: 0.02, Seed: 31})
+	var b strings.Builder
+	sql := "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 5"
+	if err := runQuery(&b, cat, sql, core.Options{}, false, 10, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "measured vs estimated") {
+		t.Errorf("stats report missing from output:\n%s", out)
+	}
+	if !strings.Contains(out, "measured dL=") {
+		t.Errorf("no per-join stats line in output:\n%s", out)
+	}
+	if !strings.Contains(out, "(5 rows)") {
+		t.Errorf("expected 5 result rows:\n%s", out)
+	}
+}
+
+// Explain-only mode must stop before execution.
+func TestRunQueryExplainOnly(t *testing.T) {
+	cat, _ := workload.RankedSet(2, workload.RankedConfig{N: 500, Selectivity: 0.05, Seed: 32})
+	var b strings.Builder
+	sql := "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 3"
+	if err := runQuery(&b, cat, sql, core.Options{}, true, 10, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "rows)") {
+		t.Errorf("explain-only output contains result rows:\n%s", b.String())
+	}
+}

@@ -29,6 +29,7 @@ func All() []Experiment {
 		{"topksort", "Ablation: full sort vs bounded-heap top-k sort", AblationTopKSort},
 		{"mway", "Ablation: m-way HRJN vs binary HRJN tree", AblationMultiwayHRJN},
 		{"taplan", "Ablation: Fagin-TA plan vs optimizer's winner", AblationRankAggregate},
+		{"throughput", "Concurrent session throughput at 1/2/4/8 workers", ThroughputExperiment},
 	}
 }
 

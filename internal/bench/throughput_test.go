@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// A miniature sweep must produce one clean point per worker count and a
+// well-formed JSON artifact.
+func TestThroughputSmoke(t *testing.T) {
+	cfg := ThroughputConfig{
+		Tables: 3, Rows: 1500, Selectivity: 0.02, Seed: 9,
+		Queries: 8, K: 5, Workers: []int{1, 4},
+	}
+	rep, err := Throughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != len(cfg.Workers) {
+		t.Fatalf("%d points, want %d", len(rep.Points), len(cfg.Workers))
+	}
+	for _, p := range rep.Points {
+		if p.Errors != 0 {
+			t.Errorf("workers=%d: %d failed sessions", p.Workers, p.Errors)
+		}
+		if p.QPS <= 0 {
+			t.Errorf("workers=%d: non-positive QPS %v", p.Workers, p.QPS)
+		}
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ThroughputReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if back.Config.Queries != cfg.Queries || len(back.Points) != len(rep.Points) {
+		t.Error("artifact lost fields in the round trip")
+	}
+	tab := rep.Table()
+	if len(tab.Rows) != len(rep.Points) {
+		t.Errorf("table has %d rows, want %d", len(tab.Rows), len(rep.Points))
+	}
+}

@@ -55,6 +55,11 @@ type Options struct {
 	Strategy exec.PullStrategy
 	// Params overrides the cost-model parameters (nil means defaults).
 	Params *costmodel.Params
+	// Workers bounds the goroutines enumerating join plans within each DP
+	// size level (levels are the enumeration's only dependency barrier).
+	// 0 or 1 enumerates sequentially; the plans produced are identical
+	// either way, since every memo entry is built by exactly one worker.
+	Workers int
 }
 
 // Result is the optimizer output.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sync"
 
 	"rankopt/internal/exec"
 	"rankopt/internal/expr"
@@ -218,34 +219,102 @@ func (o *optimizer) sortWrap(p *plan.Node, keys []exec.SortKey, order plan.Order
 	}
 }
 
+// maskAcc accumulates the candidate plans of one MEMO entry during join
+// enumeration. Each mask of a size level is owned by exactly one worker
+// goroutine, which prunes locally; the accumulated lists are merged into the
+// shared memo at the level barrier, so workers never write shared state.
+type maskAcc struct {
+	o     *optimizer
+	mask  uint64
+	plans []*plan.Node
+	gen   int
+}
+
+// add applies property + cost pruning to the local plan list.
+func (a *maskAcc) add(cand *plan.Node) {
+	a.gen++
+	a.plans = a.o.insertPruned(a.plans, cand)
+}
+
 // enumerateJoins runs the bottom-up DP over table subsets, generating every
-// join alternative for every connected split of every subset.
+// join alternative for every connected split of every subset. Within one
+// size level every mask depends only on strictly smaller entries, so the
+// masks of a level are enumerated across Options.Workers goroutines; the
+// level boundary is the only synchronization point.
 func (o *optimizer) enumerateJoins() {
 	n := len(o.tables)
 	full := o.fullMask()
 	for size := 2; size <= n; size++ {
+		var masks []uint64
 		for mask := uint64(1); mask <= full; mask++ {
-			if popcount(mask) != size {
-				continue
+			if popcount(mask) == size {
+				masks = append(masks, mask)
 			}
-			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
-				rest := mask ^ sub
-				p1s, p2s := o.memo[sub], o.memo[rest]
-				if len(p1s) == 0 || len(p2s) == 0 {
-					continue
-				}
-				preds, s := o.selectivityBetween(sub, rest)
-				if len(preds) == 0 {
-					continue // no Cartesian products
-				}
-				o.joinSplit(mask, sub, rest, preds, s)
+		}
+		accs := make([]*maskAcc, len(masks))
+		enumerate := func(i int) {
+			acc := &maskAcc{o: o, mask: masks[i]}
+			o.enumerateMask(acc)
+			accs[i] = acc
+		}
+		workers := o.opts.Workers
+		if workers > len(masks) {
+			workers = len(masks)
+		}
+		if workers <= 1 {
+			for i := range masks {
+				enumerate(i)
 			}
+		} else {
+			idx := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range idx {
+						enumerate(i)
+					}
+				}()
+			}
+			for i := range masks {
+				idx <- i
+			}
+			close(idx)
+			wg.Wait()
+		}
+		// Level barrier: publish every mask's plans before the next level
+		// reads them. Each entry was built by one worker, so the merge is a
+		// plain move, not a re-pruning.
+		for _, acc := range accs {
+			if len(acc.plans) > 0 {
+				o.memo[acc.mask] = acc.plans
+			}
+			o.gen += acc.gen
 		}
 	}
 }
 
+// enumerateMask generates every join alternative for one subset mask,
+// reading only memo entries of strictly smaller size.
+func (o *optimizer) enumerateMask(acc *maskAcc) {
+	mask := acc.mask
+	for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+		rest := mask ^ sub
+		p1s, p2s := o.memo[sub], o.memo[rest]
+		if len(p1s) == 0 || len(p2s) == 0 {
+			continue
+		}
+		preds, s := o.selectivityBetween(sub, rest)
+		if len(preds) == 0 {
+			continue // no Cartesian products
+		}
+		o.joinSplit(acc, sub, rest, preds, s)
+	}
+}
+
 // joinSplit generates all join candidates for one ordered (sub, rest) split.
-func (o *optimizer) joinSplit(mask, sub, rest uint64, preds []logical.JoinPred, s float64) {
+func (o *optimizer) joinSplit(acc *maskAcc, sub, rest uint64, preds []logical.JoinPred, s float64) {
 	p1s, p2s := o.memo[sub], o.memo[rest]
 	rankedL := o.rankedOf(sub)
 	rankedR := o.rankedOf(rest)
@@ -279,7 +348,7 @@ func (o *optimizer) joinSplit(mask, sub, rest uint64, preds []logical.JoinPred, 
 						Pipelined: p1.Props.Pipelined,
 					},
 				}
-				o.addPlan(mask, cand)
+				acc.add(cand)
 			}
 		}
 
@@ -287,7 +356,7 @@ func (o *optimizer) joinSplit(mask, sub, rest uint64, preds []logical.JoinPred, 
 			jcard := math.Max(card*p2.Card, 1e-9)
 
 			// Nested loops (outer p1, inner p2 materialized).
-			o.addPlan(mask, &plan.Node{
+			acc.add(&plan.Node{
 				Op:       plan.OpNLJ,
 				Children: []*plan.Node{p1, p2},
 				EqPreds:  preds,
@@ -301,7 +370,7 @@ func (o *optimizer) joinSplit(mask, sub, rest uint64, preds []logical.JoinPred, 
 			})
 
 			// Hash join (build p1, probe p2; probe order survives).
-			o.addPlan(mask, &plan.Node{
+			acc.add(&plan.Node{
 				Op:       plan.OpHashJoin,
 				Children: []*plan.Node{p1, p2},
 				EqPreds:  preds,
@@ -326,7 +395,7 @@ func (o *optimizer) joinSplit(mask, sub, rest uint64, preds []logical.JoinPred, 
 			if !p2.Props.Order.Covers(rOrd) {
 				mr = o.sortWrap(p2, []exec.SortKey{{E: preds[0].R}}, rOrd)
 			}
-			o.addPlan(mask, &plan.Node{
+			acc.add(&plan.Node{
 				Op:       plan.OpMergeJoin,
 				Children: []*plan.Node{ml, mr},
 				EqPreds:  preds,
@@ -341,7 +410,7 @@ func (o *optimizer) joinSplit(mask, sub, rest uint64, preds []logical.JoinPred, 
 
 			// Rank joins.
 			if o.rankAware() && bothRanked {
-				o.rankJoinCandidates(mask, sub, rest, p1, p2, preds, s, jcard)
+				o.rankJoinCandidates(acc, sub, rest, p1, p2, preds, s, jcard)
 			}
 		}
 	}
@@ -349,7 +418,8 @@ func (o *optimizer) joinSplit(mask, sub, rest uint64, preds []logical.JoinPred, 
 
 // rankJoinCandidates emits HRJN and NRJN alternatives for a plan pair,
 // enforcing ranked input orders by glued sorts when allowed.
-func (o *optimizer) rankJoinCandidates(mask, sub, rest uint64, p1, p2 *plan.Node, preds []logical.JoinPred, s, jcard float64) {
+func (o *optimizer) rankJoinCandidates(acc *maskAcc, sub, rest uint64, p1, p2 *plan.Node, preds []logical.JoinPred, s, jcard float64) {
+	mask := acc.mask
 	lOrder, _ := o.rankOrderFor(sub)
 	rOrder, _ := o.rankOrderFor(rest)
 	lScore := o.scoreFor(sub)
@@ -402,7 +472,7 @@ func (o *optimizer) rankJoinCandidates(mask, sub, rest uint64, p1, p2 *plan.Node
 				Order:     outOrder,
 				Pipelined: l.Props.Pipelined && r.Props.Pipelined,
 			}
-			o.addPlan(mask, n)
+			acc.add(n)
 		}
 	}
 
@@ -416,7 +486,7 @@ func (o *optimizer) rankJoinCandidates(mask, sub, rest uint64, p1, p2 *plan.Node
 				Order:     outOrder,
 				Pipelined: l.Props.Pipelined,
 			}
-			o.addPlan(mask, n)
+			acc.add(n)
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"rankopt/internal/expr"
 	"rankopt/internal/logical"
 )
@@ -25,14 +27,16 @@ func newEquivClasses(joins []logical.JoinPred) *equivClasses {
 
 func (e *equivClasses) key(c expr.ColRef) string { return c.String() }
 
+// find walks to the class root without path compression: lookups stay pure
+// reads, so concurrent plan-enumeration workers can share the structure.
 func (e *equivClasses) find(k string) string {
-	p, ok := e.parent[k]
-	if !ok || p == k {
-		return k
+	for {
+		p, ok := e.parent[k]
+		if !ok || p == k {
+			return k
+		}
+		k = p
 	}
-	root := e.find(p)
-	e.parent[k] = root
-	return root
 }
 
 func (e *equivClasses) union(a, b expr.ColRef) {
@@ -86,13 +90,26 @@ func (e *equivClasses) closure(joins []logical.JoinPred) []logical.JoinPred {
 			out = append(out, j)
 		}
 	}
-	// Group columns by class.
-	byClass := map[string][]expr.ColRef{}
+	// Group columns by class, walking keys in sorted order so the implied
+	// predicates (and therefore the representative each class keeps in
+	// reduceByClass) come out identical on every run — map iteration order
+	// must never leak into plan choice.
+	keys := make([]string, 0, len(e.parent))
 	for k := range e.parent {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	byClass := map[string][]expr.ColRef{}
+	var roots []string
+	for _, k := range keys {
 		root := e.find(k)
+		if _, ok := byClass[root]; !ok {
+			roots = append(roots, root)
+		}
 		byClass[root] = append(byClass[root], e.col[k])
 	}
-	for _, cols := range byClass {
+	for _, root := range roots {
+		cols := byClass[root]
 		for i := 0; i < len(cols); i++ {
 			for j := i + 1; j < len(cols); j++ {
 				if cols[i].Table == cols[j].Table {

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"rankopt/internal/plan"
+	"rankopt/internal/workload"
+)
+
+// memoFingerprint renders a Result's MEMO as a canonical multiset of
+// (entry, explained plan, total cost) strings, so two enumerations can be
+// compared structurally regardless of goroutine scheduling.
+func memoFingerprint(t *testing.T, res *Result) []string {
+	t.Helper()
+	var out []string
+	for label, plans := range res.Memo {
+		for _, p := range plans {
+			out = append(out, label+" | "+plan.Explain(p))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestParallelEnumerationMatchesSequential: the DP's parallel levels must
+// produce exactly the sequential MEMO — same entries, same retained plans,
+// same counters, same chosen plan — for every worker count. Each mask is
+// built by one worker in the sequential split order, so nothing about the
+// result may depend on scheduling.
+func TestParallelEnumerationMatchesSequential(t *testing.T) {
+	cat, _ := workload.RankedSet(4, workload.RankedConfig{N: 600, Selectivity: 0.03, Seed: 301})
+	for _, m := range []int{2, 3, 4} {
+		for _, k := range []int{1, 10} {
+			q := rankedQuery(m, k)
+			seq, err := Optimize(cat, q, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqFP := memoFingerprint(t, seq)
+			seqPlan := plan.Explain(seq.Best)
+			for _, workers := range []int{2, 4, 8} {
+				par, err := Optimize(cat, q, Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par.PlansGenerated != seq.PlansGenerated || par.PlansKept != seq.PlansKept {
+					t.Errorf("m=%d k=%d workers=%d: counters (gen=%d kept=%d) differ from sequential (gen=%d kept=%d)",
+						m, k, workers, par.PlansGenerated, par.PlansKept, seq.PlansGenerated, seq.PlansKept)
+				}
+				if got := plan.Explain(par.Best); got != seqPlan {
+					t.Errorf("m=%d k=%d workers=%d: best plan diverged\nparallel:\n%s\nsequential:\n%s",
+						m, k, workers, got, seqPlan)
+				}
+				parFP := memoFingerprint(t, par)
+				if len(parFP) != len(seqFP) {
+					t.Errorf("m=%d k=%d workers=%d: MEMO holds %d plans, sequential %d",
+						m, k, workers, len(parFP), len(seqFP))
+					continue
+				}
+				for i := range parFP {
+					if parFP[i] != seqFP[i] {
+						t.Errorf("m=%d k=%d workers=%d: MEMO diverged at %q vs %q",
+							m, k, workers, parFP[i], seqFP[i])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEnumerationAblations re-runs the equivalence check under the
+// ablation switches that change which plan families the workers generate.
+func TestParallelEnumerationAblations(t *testing.T) {
+	cat, _ := workload.RankedSet(3, workload.RankedConfig{N: 400, Selectivity: 0.05, Seed: 302})
+	q := rankedQuery(3, 5)
+	for name, opts := range map[string]Options{
+		"baseline":  {DisableRankAware: true},
+		"no-hrjn":   {DisableHRJN: true},
+		"no-nrjn":   {DisableNRJN: true},
+		"keep-all":  {KeepAllPlans: true},
+		"topk-sort": {UseTopKSort: true},
+	} {
+		seq, err := Optimize(cat, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		popts := opts
+		popts.Workers = 4
+		par, err := Optimize(cat, q, popts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.PlansGenerated != seq.PlansGenerated || par.PlansKept != seq.PlansKept {
+			t.Errorf("%s: counters diverged: parallel gen=%d kept=%d, sequential gen=%d kept=%d",
+				name, par.PlansGenerated, par.PlansKept, seq.PlansGenerated, seq.PlansKept)
+		}
+		if plan.Explain(par.Best) != plan.Explain(seq.Best) {
+			t.Errorf("%s: best plan diverged", name)
+		}
+	}
+}

@@ -9,21 +9,27 @@ import (
 // costEps tolerates floating-point noise in cost comparisons.
 const costEps = 1e-9
 
-// addPlan inserts a candidate into a MEMO entry, applying the paper's
+// addPlan inserts a candidate into a MEMO entry directly; only the
+// sequential base-level enumeration (and tests) use it — join levels go
+// through per-mask accumulators so workers never touch the shared memo.
+func (o *optimizer) addPlan(mask uint64, cand *plan.Node) {
+	o.gen++
+	o.memo[mask] = o.insertPruned(o.memo[mask], cand)
+}
+
+// insertPruned adds a candidate to a plan list, applying the paper's
 // property + cost pruning: a plan is pruned iff another plan for the same
 // expression has properties at least as strong AND is at most as expensive
 // at every achievable k (Section 3.3). Existing plans dominated by the
-// candidate are evicted.
-func (o *optimizer) addPlan(mask uint64, cand *plan.Node) {
-	o.gen++
+// candidate are evicted. The receiver is only read, so concurrent workers
+// may call this on disjoint lists.
+func (o *optimizer) insertPruned(plans []*plan.Node, cand *plan.Node) []*plan.Node {
 	if o.opts.KeepAllPlans {
-		o.memo[mask] = append(o.memo[mask], cand)
-		return
+		return append(plans, cand)
 	}
-	plans := o.memo[mask]
 	for _, p := range plans {
 		if o.dominates(p, cand) {
-			return
+			return plans
 		}
 	}
 	kept := make([]*plan.Node, 0, len(plans)+1)
@@ -32,7 +38,7 @@ func (o *optimizer) addPlan(mask uint64, cand *plan.Node) {
 			kept = append(kept, p)
 		}
 	}
-	o.memo[mask] = append(kept, cand)
+	return append(kept, cand)
 }
 
 // dominates reports whether plan a makes plan b redundant. Properties must

@@ -1,0 +1,182 @@
+// Package engine is the concurrent query-serving layer: independent
+// top-k query sessions (parse → optimize → compile → execute) run in
+// goroutine workers against one shared catalog. The ranked-enumeration
+// serving workload — many small-k queries over the same data — is exactly
+// the shape this layer unlocks.
+//
+// Concurrency model: the catalog (relations, indexes, statistics) is
+// treated as immutable once an Engine is constructed over it; sessions only
+// read it, so they need no locks. Everything mutable — the optimizer's
+// MEMO, compiled operator trees, rank-join stats — is private to one
+// session. Within a session the optimizer may additionally parallelize its
+// DP levels (core.Options.Workers); the two levels of parallelism compose.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rankopt/internal/catalog"
+	"rankopt/internal/core"
+	"rankopt/internal/exec"
+	"rankopt/internal/plan"
+	"rankopt/internal/relation"
+	"rankopt/internal/sqlparse"
+)
+
+// Engine serves query sessions against a shared, read-only catalog.
+// It is safe for concurrent use by multiple goroutines as long as nobody
+// mutates the catalog (AddTable, CreateIndex, RefreshStats, heap writes)
+// while sessions run.
+type Engine struct {
+	cat  *catalog.Catalog
+	opts core.Options
+}
+
+// New constructs an engine over a loaded catalog. The options apply to
+// every session; they are copied, so later mutation of the caller's value
+// has no effect.
+func New(cat *catalog.Catalog, opts core.Options) *Engine {
+	return &Engine{cat: cat, opts: opts}
+}
+
+// Request is one query session's input.
+type Request struct {
+	// ID labels the session in its Response (useful when fanning out).
+	ID string
+	// SQL is the top-k query text.
+	SQL string
+}
+
+// RankJoinStat pairs one rank-join operator of the executed plan with its
+// measured depths and ranking-buffer high-water mark.
+type RankJoinStat struct {
+	// Op is the operator name (HRJN or NRJN).
+	Op string
+	// Pred labels the join: the primary equi-predicate when one exists,
+	// otherwise the residual predicate (NRJN accepts arbitrary predicates).
+	Pred string
+	// Stats are the measured depths and buffer size.
+	Stats exec.RankJoinStats
+}
+
+// Response is one query session's complete outcome. Err is set (and the
+// result fields empty) when any stage of the session failed.
+type Response struct {
+	ID  string
+	SQL string
+	// Columns are the qualified output column names.
+	Columns []string
+	// Tuples is the full result set in output order.
+	Tuples []relation.Tuple
+	// PlansGenerated and PlansKept report the optimizer's enumeration work.
+	PlansGenerated int
+	PlansKept      int
+	// RankJoins holds the measured stats of every rank-join in the plan.
+	RankJoins []RankJoinStat
+	// Elapsed is the wall time of the whole session.
+	Elapsed time.Duration
+	Err     error
+}
+
+// rankJoinPredLabel names a rank-join for stats display without assuming an
+// equi-predicate exists (an NRJN can join on a residual-only predicate).
+func rankJoinPredLabel(n *plan.Node) string {
+	if len(n.EqPreds) > 0 {
+		return n.EqPreds[0].String()
+	}
+	if n.Pred != nil {
+		return n.Pred.String()
+	}
+	return "<no predicate>"
+}
+
+// Run executes one complete query session and never panics on malformed
+// input: all failures surface in Response.Err.
+func (e *Engine) Run(req Request) Response {
+	start := time.Now()
+	resp := Response{ID: req.ID, SQL: req.SQL}
+	fail := func(err error) Response {
+		resp.Err = err
+		resp.Elapsed = time.Since(start)
+		return resp
+	}
+	q, err := sqlparse.Parse(req.SQL)
+	if err != nil {
+		return fail(fmt.Errorf("engine: parse: %w", err))
+	}
+	res, err := core.Optimize(e.cat, q, e.opts)
+	if err != nil {
+		return fail(fmt.Errorf("engine: optimize: %w", err))
+	}
+	resp.PlansGenerated = res.PlansGenerated
+	resp.PlansKept = res.PlansKept
+	type tracedJoin struct {
+		node *plan.Node
+		op   exec.StatsReporter
+	}
+	var joins []tracedJoin
+	op, err := plan.CompileTraced(e.cat, res.Best, func(n *plan.Node, o exec.Operator) {
+		if sr, ok := o.(exec.StatsReporter); ok && n.Op.IsRankJoin() {
+			joins = append(joins, tracedJoin{n, sr})
+		}
+	})
+	if err != nil {
+		return fail(fmt.Errorf("engine: compile: %w", err))
+	}
+	tuples, err := exec.Collect(op)
+	if err != nil {
+		return fail(fmt.Errorf("engine: execute: %w", err))
+	}
+	resp.Tuples = tuples
+	sch := op.Schema()
+	resp.Columns = make([]string, sch.Len())
+	for i := 0; i < sch.Len(); i++ {
+		resp.Columns[i] = sch.Column(i).QualifiedName()
+	}
+	// Stats are read only after Collect closed the operators: the session
+	// owns the tree, so no other goroutine can observe partial stats.
+	for _, tj := range joins {
+		resp.RankJoins = append(resp.RankJoins, RankJoinStat{
+			Op:    tj.node.Op.String(),
+			Pred:  rankJoinPredLabel(tj.node),
+			Stats: tj.op.Stats(),
+		})
+	}
+	resp.Elapsed = time.Since(start)
+	return resp
+}
+
+// RunAll fans the requests across the given number of concurrent session
+// workers and returns the responses in request order. workers is clamped to
+// [1, len(reqs)].
+func (e *Engine) RunAll(reqs []Request, workers int) []Response {
+	out := make([]Response, len(reqs))
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers <= 1 {
+		for i, r := range reqs {
+			out[i] = e.Run(r)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = e.Run(reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rankopt/internal/core"
+	"rankopt/internal/workload"
+)
+
+func testEngine(t *testing.T, opts core.Options) *Engine {
+	t.Helper()
+	cat, _ := workload.RankedSet(3, workload.RankedConfig{
+		N: 2000, Selectivity: 0.01, Seed: 11,
+	})
+	return New(cat, opts)
+}
+
+// testRequests builds a mixed batch: 2-way and 3-way ranked joins with
+// varying k, plus deliberately broken queries to exercise error capture.
+func testRequests(n int, withErrors bool) []Request {
+	shapes := []string{
+		"SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT %d",
+		"SELECT * FROM T2, T3 WHERE T2.key = T3.key ORDER BY T2.score + T3.score DESC LIMIT %d",
+		"SELECT * FROM T1, T2, T3 WHERE T1.key = T2.key AND T2.key = T3.key ORDER BY T1.score + T2.score + T3.score DESC LIMIT %d",
+	}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		sql := fmt.Sprintf(shapes[i%len(shapes)], 3+i%5)
+		if withErrors && i%7 == 3 {
+			sql = "SELECT FROM WHERE" // parse error
+		}
+		reqs[i] = Request{ID: fmt.Sprintf("q%d", i), SQL: sql}
+	}
+	return reqs
+}
+
+// TestRunSession checks one full session end to end: results arrive in
+// descending combined-score order, stats cover the plan's rank joins, and
+// the optimizer counters are populated.
+func TestRunSession(t *testing.T) {
+	eng := testEngine(t, core.Options{})
+	resp := eng.Run(Request{ID: "s1", SQL: testRequests(1, false)[0].SQL})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if len(resp.Tuples) == 0 {
+		t.Fatal("no results")
+	}
+	if resp.PlansGenerated == 0 || resp.PlansKept == 0 {
+		t.Errorf("optimizer counters empty: generated=%d kept=%d", resp.PlansGenerated, resp.PlansKept)
+	}
+	if len(resp.Columns) != len(resp.Tuples[0]) {
+		t.Errorf("%d columns for %d-wide tuples", len(resp.Columns), len(resp.Tuples[0]))
+	}
+	for _, rj := range resp.RankJoins {
+		if rj.Stats.LeftDepth == 0 && rj.Stats.RightDepth == 0 {
+			t.Errorf("rank join %s(%s) reports zero depths", rj.Op, rj.Pred)
+		}
+	}
+}
+
+// TestRunCapturesErrors: malformed queries must surface in Response.Err, not
+// crash the worker or poison neighboring sessions.
+func TestRunCapturesErrors(t *testing.T) {
+	eng := testEngine(t, core.Options{})
+	for _, sql := range []string{
+		"SELECT FROM WHERE",
+		"SELECT * FROM NoSuchTable ORDER BY NoSuchTable.score DESC LIMIT 5",
+	} {
+		resp := eng.Run(Request{SQL: sql})
+		if resp.Err == nil {
+			t.Errorf("%q: error not captured", sql)
+		}
+	}
+}
+
+// stripElapsed zeroes the wall-clock field so concurrent and sequential
+// responses compare equal.
+func stripElapsed(rs []Response) []Response {
+	out := append([]Response(nil), rs...)
+	for i := range out {
+		out[i].Elapsed = 0
+	}
+	return out
+}
+
+// TestConcurrentSessionsMatchSequential is the PR's headline race test: at
+// least 8 workers run a mixed batch (including failing queries) over one
+// shared catalog, and every response — tuples, stats, errors — must match
+// the sequential run. Run under -race this doubles as the data-race check
+// on the shared catalog, B+trees, and per-session optimizer state.
+func TestConcurrentSessionsMatchSequential(t *testing.T) {
+	eng := testEngine(t, core.Options{})
+	reqs := testRequests(24, true)
+	want := stripElapsed(eng.RunAll(reqs, 1))
+	for _, workers := range []int{2, 8, 16} {
+		got := stripElapsed(eng.RunAll(reqs, workers))
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d responses, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			// Errors carry no stable identity; compare presence and text.
+			ge, we := got[i].Err, want[i].Err
+			if (ge == nil) != (we == nil) || (ge != nil && ge.Error() != we.Error()) {
+				t.Errorf("workers=%d %s: err %v, want %v", workers, reqs[i].ID, ge, we)
+				continue
+			}
+			g, w := got[i], want[i]
+			g.Err, w.Err = nil, nil
+			if !reflect.DeepEqual(g, w) {
+				t.Errorf("workers=%d %s: response diverged from sequential run", workers, reqs[i].ID)
+			}
+		}
+	}
+}
+
+// TestConcurrentSessionsWithParallelOptimizer layers both levels of
+// parallelism: concurrent sessions whose optimizers each enumerate DP
+// levels with their own worker pools.
+func TestConcurrentSessionsWithParallelOptimizer(t *testing.T) {
+	seqEng := testEngine(t, core.Options{})
+	parEng := testEngine(t, core.Options{Workers: 4})
+	reqs := testRequests(12, false)
+	want := stripElapsed(seqEng.RunAll(reqs, 1))
+	got := stripElapsed(parEng.RunAll(reqs, 8))
+	for i := range got {
+		if got[i].Err != nil {
+			t.Fatalf("%s: %v", reqs[i].ID, got[i].Err)
+		}
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("%s: parallel-optimizer response diverged", reqs[i].ID)
+		}
+	}
+}
+
+// TestPool exercises the long-lived serving front: submissions from many
+// goroutines, per-submission response channels, idempotent Close.
+func TestPool(t *testing.T) {
+	eng := testEngine(t, core.Options{})
+	pool := eng.NewPool(8)
+	reqs := testRequests(16, true)
+	chans := make([]<-chan Response, len(reqs))
+	for i, r := range reqs {
+		chans[i] = pool.Submit(r)
+	}
+	want := stripElapsed(eng.RunAll(reqs, 1))
+	for i, ch := range chans {
+		got := <-ch
+		got.Elapsed = 0
+		ge, we := got.Err, want[i].Err
+		if (ge == nil) != (we == nil) {
+			t.Errorf("%s: err %v, want %v", reqs[i].ID, ge, we)
+			continue
+		}
+		got.Err, want[i].Err = nil, nil
+		if !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("%s: pooled response diverged from sequential run", reqs[i].ID)
+		}
+	}
+	pool.Close()
+	pool.Close() // idempotent
+}

@@ -1,0 +1,52 @@
+package engine
+
+import "sync"
+
+// Pool is a long-lived serving front: a fixed set of session workers
+// draining a submission channel. Use it when sessions arrive over time;
+// for a fixed batch, Engine.RunAll is simpler.
+type Pool struct {
+	eng   *Engine
+	items chan poolItem
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+type poolItem struct {
+	req Request
+	out chan<- Response
+}
+
+// NewPool starts the given number of session workers (at least one).
+func (e *Engine) NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{eng: e, items: make(chan poolItem)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for it := range p.items {
+				it.out <- p.eng.Run(it.req)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues a session and returns a channel that delivers exactly one
+// Response. Submit blocks while every worker is busy; submitting to a closed
+// pool panics, mirroring sends on closed channels.
+func (p *Pool) Submit(req Request) <-chan Response {
+	out := make(chan Response, 1)
+	p.items <- poolItem{req: req, out: out}
+	return out
+}
+
+// Close stops accepting sessions and waits for the in-flight ones to finish
+// delivering. Safe to call more than once.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.items) })
+	p.wg.Wait()
+}

@@ -229,6 +229,15 @@ func (h *HashAggregate) Open() error {
 	if err := h.In.Open(); err != nil {
 		return err
 	}
+	if err := h.load(); err != nil {
+		closeQuietly(h.In)
+		return err
+	}
+	return nil
+}
+
+// load resolves the schema and drains the opened input into groups.
+func (h *HashAggregate) load() error {
 	sch, err := aggSchema(h.In.Schema(), h.GroupBy, h.Aggs)
 	if err != nil {
 		return err
@@ -366,10 +375,12 @@ func (s *SortedAggregate) Open() error {
 	}
 	sch, err := aggSchema(s.In.Schema(), s.GroupBy, s.Aggs)
 	if err != nil {
+		closeQuietly(s.In)
 		return err
 	}
 	s.schema = sch
 	if s.keys, s.args, err = bindAgg(s.In.Schema(), s.GroupBy, s.Aggs); err != nil {
+		closeQuietly(s.In)
 		return err
 	}
 	s.curKey = nil

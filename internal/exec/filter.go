@@ -29,6 +29,7 @@ func (f *Filter) Open() error {
 	}
 	ev, err := f.Pred.Bind(f.In.Schema())
 	if err != nil {
+		closeQuietly(f.In)
 		return err
 	}
 	f.ev = ev
@@ -94,6 +95,7 @@ func (p *Project) Open() error {
 	for i, it := range p.Items {
 		ev, err := it.E.Bind(p.In.Schema())
 		if err != nil {
+			closeQuietly(p.In)
 			return err
 		}
 		p.evals[i] = ev
@@ -193,6 +195,7 @@ func (r *RankAssign) Open() error {
 	}
 	ev, err := r.Score.Bind(r.In.Schema())
 	if err != nil {
+		closeQuietly(r.In)
 		return err
 	}
 	r.ev = ev

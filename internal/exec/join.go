@@ -51,11 +51,13 @@ func (j *NestedLoopsJoin) Open() error {
 	}
 	inner, err := Collect(j.Right)
 	if err != nil {
+		closeQuietly(j.Left)
 		return err
 	}
 	j.inner = inner
 	ev, err := bindPred(j.Pred, j.schema)
 	if err != nil {
+		closeQuietly(j.Left)
 		return err
 	}
 	j.ev = ev
@@ -148,10 +150,12 @@ func (j *IndexNLJoin) Open() error {
 	}
 	keyEv, err := j.OuterKey.Bind(j.Left.Schema())
 	if err != nil {
+		closeQuietly(j.Left)
 		return err
 	}
 	resEv, err := bindPred(j.Residual, j.schema)
 	if err != nil {
+		closeQuietly(j.Left)
 		return err
 	}
 	j.keyEv, j.resEv = keyEv, resEv
@@ -245,6 +249,34 @@ func (j *HashJoin) Open() error {
 	if err := j.Left.Open(); err != nil {
 		return err
 	}
+	if err := j.build(); err != nil {
+		closeQuietly(j.Left)
+		return err
+	}
+	if err := j.Left.Close(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	rKeyEv, err := j.RightKey.Bind(j.Right.Schema())
+	if err != nil {
+		closeQuietly(j.Right)
+		return err
+	}
+	resEv, err := bindPred(j.Residual, j.schema)
+	if err != nil {
+		closeQuietly(j.Right)
+		return err
+	}
+	j.rKeyEv, j.resEv = rKeyEv, resEv
+	j.cur = nil
+	j.done = false
+	return nil
+}
+
+// build drains the opened left input into the hash table.
+func (j *HashJoin) build() error {
 	lKeyEv, err := j.LeftKey.Bind(j.Left.Schema())
 	if err != nil {
 		return err
@@ -270,23 +302,6 @@ func (j *HashJoin) Open() error {
 		n++
 	}
 	j.MaxTable = n
-	if err := j.Left.Close(); err != nil {
-		return err
-	}
-	if err := j.Right.Open(); err != nil {
-		return err
-	}
-	rKeyEv, err := j.RightKey.Bind(j.Right.Schema())
-	if err != nil {
-		return err
-	}
-	resEv, err := bindPred(j.Residual, j.schema)
-	if err != nil {
-		return err
-	}
-	j.rKeyEv, j.resEv = rKeyEv, resEv
-	j.cur = nil
-	j.done = false
 	return nil
 }
 
@@ -377,8 +392,18 @@ func (j *SortMergeJoin) Open() error {
 		return err
 	}
 	if err := j.Right.Open(); err != nil {
+		closeQuietly(j.Left)
 		return err
 	}
+	if err := j.prime(); err != nil {
+		closeQuietly(j.Left, j.Right)
+		return err
+	}
+	return nil
+}
+
+// prime binds evaluators and fetches the first tuple from each side.
+func (j *SortMergeJoin) prime() error {
 	var err error
 	if j.lKeyEv, err = j.LeftKey.Bind(j.Left.Schema()); err != nil {
 		return err
@@ -539,16 +564,11 @@ func (j *SymmetricHashJoin) Open() error {
 		return err
 	}
 	if err := j.Right.Open(); err != nil {
+		closeQuietly(j.Left)
 		return err
 	}
-	var err error
-	if j.lKeyEv, err = j.LeftKey.Bind(j.Left.Schema()); err != nil {
-		return err
-	}
-	if j.rKeyEv, err = j.RightKey.Bind(j.Right.Schema()); err != nil {
-		return err
-	}
-	if j.resEv, err = bindPred(j.Residual, j.schema); err != nil {
+	if err := j.bind(); err != nil {
+		closeQuietly(j.Left, j.Right)
 		return err
 	}
 	j.lTable = map[any][]relation.Tuple{}
@@ -557,6 +577,19 @@ func (j *SymmetricHashJoin) Open() error {
 	j.pullLeft = true
 	j.pending = nil
 	return nil
+}
+
+// bind resolves the key and residual evaluators.
+func (j *SymmetricHashJoin) bind() error {
+	var err error
+	if j.lKeyEv, err = j.LeftKey.Bind(j.Left.Schema()); err != nil {
+		return err
+	}
+	if j.rKeyEv, err = j.RightKey.Bind(j.Right.Schema()); err != nil {
+		return err
+	}
+	j.resEv, err = bindPred(j.Residual, j.schema)
+	return err
 }
 
 // step pulls one tuple from the chosen side and queues any new matches.

@@ -76,13 +76,16 @@ func (j *MultiHRJN) Open() error {
 	j.keyEvs = make([]expr.Eval, m)
 	for i, in := range j.Inputs {
 		if err := in.Open(); err != nil {
+			closeQuietly(j.Inputs[:i]...)
 			return err
 		}
 		var err error
 		if j.scoreEvs[i], err = j.Scores[i].Bind(in.Schema()); err != nil {
+			closeQuietly(j.Inputs[:i+1]...)
 			return err
 		}
 		if j.keyEvs[i], err = j.Keys[i].Bind(in.Schema()); err != nil {
+			closeQuietly(j.Inputs[:i+1]...)
 			return err
 		}
 	}
@@ -162,6 +165,8 @@ func (j *MultiHRJN) pull(i int) error {
 		j.done[i] = true
 		return nil
 	}
+	// Consumed tuples count toward the depth before the NULL-score drop.
+	j.depths[i]++
 	sv, err := j.scoreEvs[i](t)
 	if err != nil {
 		return err
@@ -177,7 +182,6 @@ func (j *MultiHRJN) pull(i int) error {
 	}
 	j.lasts[i] = s
 	j.seen[i]++
-	j.depths[i] = j.seen[i]
 	kv, err := j.keyEvs[i](t)
 	if err != nil {
 		return err

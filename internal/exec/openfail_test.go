@@ -1,0 +1,255 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"rankopt/internal/expr"
+	"rankopt/internal/relation"
+)
+
+// lifecycleOp wraps an operator and records Open/Close calls, so tests can
+// verify the Operator contract: an Open failure anywhere in a tree must leave
+// every successfully-opened child closed again.
+type lifecycleOp struct {
+	Operator
+	opens, closes int
+}
+
+func (l *lifecycleOp) Open() error  { l.opens++; return l.Operator.Open() }
+func (l *lifecycleOp) Close() error { l.closes++; return l.Operator.Close() }
+
+func (l *lifecycleOp) balanced() bool { return l.opens == l.closes }
+
+// nextErrOp opens fine and fails on the first Next — the shape of a child
+// whose materialization (Collect) fails inside a parent's Open.
+type nextErrOp struct{ schema *relation.Schema }
+
+func (n nextErrOp) Schema() *relation.Schema { return n.schema }
+func (n nextErrOp) Open() error              { return nil }
+func (n nextErrOp) Next() (relation.Tuple, bool, error) {
+	return nil, false, errors.New("next boom")
+}
+func (n nextErrOp) Close() error { return nil }
+
+// TestOpenFailureClosesOpenedChildren drives every operator whose Open can
+// fail after a child was already opened, and asserts no child leaks open.
+// Before the fix, a right-input Open failure (or a bind failure) returned
+// with the left input still holding its resources.
+func TestOpenFailureClosesOpenedChildren(t *testing.T) {
+	rel := makeRel("A", [][3]float64{{0, 1, 0.5}, {1, 1, 0.4}})
+	score := expr.Col("A", "score")
+	key := expr.Col("A", "key")
+	badCol := expr.Col("Z", "nope")
+	bad := ErrOperator("open boom")
+	drainFail := nextErrOp{schema: rel.Schema()}
+
+	track := func() *lifecycleOp {
+		return &lifecycleOp{Operator: FromTuples(rel.Schema(), rel.Tuples())}
+	}
+
+	cases := []struct {
+		name     string
+		build    func(children ...*lifecycleOp) Operator
+		children int
+	}{
+		{"hrjn-right-open-fails", func(c ...*lifecycleOp) Operator {
+			return NewHRJN(c[0], bad, score, score, key, key, nil)
+		}, 1},
+		{"hrjn-bind-fails", func(c ...*lifecycleOp) Operator {
+			return NewHRJN(c[0], c[1], badCol, score, key, key, nil)
+		}, 2},
+		{"nrjn-inner-drain-fails", func(c ...*lifecycleOp) Operator {
+			return NewNRJN(c[0], drainFail, score, score, nil)
+		}, 1},
+		{"nrjn-bind-fails", func(c ...*lifecycleOp) Operator {
+			return NewNRJN(c[0], c[1], badCol, score, nil)
+		}, 2},
+		{"sort-bind-fails", func(c ...*lifecycleOp) Operator {
+			return NewSort(c[0], SortKey{E: badCol})
+		}, 1},
+		{"topk-bind-fails", func(c ...*lifecycleOp) Operator {
+			return NewTopK(c[0], badCol, 3)
+		}, 1},
+		{"filter-bind-fails", func(c ...*lifecycleOp) Operator {
+			return NewFilter(c[0], expr.Bin(expr.OpGt, badCol, expr.IntLit(0)))
+		}, 1},
+		{"nlj-inner-drain-fails", func(c ...*lifecycleOp) Operator {
+			return NewNestedLoopsJoin(c[0], drainFail, nil)
+		}, 1},
+		{"hashjoin-build-fails", func(c ...*lifecycleOp) Operator {
+			return NewHashJoin(c[0], c[1], badCol, key, nil)
+		}, 2},
+		{"hashjoin-probe-bind-fails", func(c ...*lifecycleOp) Operator {
+			return NewHashJoin(c[0], c[1], key, badCol, nil)
+		}, 2},
+		{"smj-bind-fails", func(c ...*lifecycleOp) Operator {
+			return NewSortMergeJoin(c[0], c[1], badCol, key, nil)
+		}, 2},
+		{"shj-bind-fails", func(c ...*lifecycleOp) Operator {
+			return NewSymmetricHashJoin(c[0], c[1], badCol, key, nil)
+		}, 2},
+		{"hashagg-drain-fails", func(c ...*lifecycleOp) Operator {
+			return NewHashAggregate(nextErrOp{schema: rel.Schema()}, nil,
+				[]AggSpec{{Func: AggCount, As: "c"}})
+		}, 0},
+	}
+	for _, tc := range cases {
+		children := make([]*lifecycleOp, 2)
+		for i := range children {
+			children[i] = track()
+		}
+		op := tc.build(children...)
+		if err := op.Open(); err == nil {
+			t.Errorf("%s: Open unexpectedly succeeded", tc.name)
+			_ = op.Close()
+			continue
+		}
+		for i := 0; i < tc.children; i++ {
+			c := children[i]
+			if c.opens == 0 {
+				continue // never opened: nothing to release
+			}
+			if !c.balanced() {
+				t.Errorf("%s: child %d leaked: %d opens, %d closes",
+					tc.name, i, c.opens, c.closes)
+			}
+		}
+	}
+}
+
+// TestMultiHRJNOpenFailureClosesOpenedInputs covers the m-way operator: when
+// input i fails to open, inputs 0..i-1 must be closed; when binding fails,
+// all inputs must be closed.
+func TestMultiHRJNOpenFailureClosesOpenedInputs(t *testing.T) {
+	rel := makeRel("A", [][3]float64{{0, 1, 0.5}})
+	score := expr.Col("A", "score")
+	key := expr.Col("A", "key")
+	badCol := expr.Col("Z", "nope")
+
+	c0 := &lifecycleOp{Operator: FromTuples(rel.Schema(), rel.Tuples())}
+	c1 := &lifecycleOp{Operator: FromTuples(rel.Schema(), rel.Tuples())}
+	j, err := NewMultiHRJN([]Operator{c0, c1, ErrOperator("boom")},
+		[]expr.Expr{score, score, score}, []expr.Expr{key, key, key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Open(); err == nil {
+		t.Fatal("Open unexpectedly succeeded")
+	}
+	if !c0.balanced() || !c1.balanced() {
+		t.Errorf("opened inputs leaked: c0 %d/%d, c1 %d/%d", c0.opens, c0.closes, c1.opens, c1.closes)
+	}
+
+	c0 = &lifecycleOp{Operator: FromTuples(rel.Schema(), rel.Tuples())}
+	c1 = &lifecycleOp{Operator: FromTuples(rel.Schema(), rel.Tuples())}
+	j, err = NewMultiHRJN([]Operator{c0, c1},
+		[]expr.Expr{badCol, score}, []expr.Expr{key, key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Open(); err == nil {
+		t.Fatal("Open with unbindable score unexpectedly succeeded")
+	}
+	if !c0.balanced() || !c1.balanced() {
+		t.Errorf("bind failure leaked inputs: c0 %d/%d, c1 %d/%d", c0.opens, c0.closes, c1.opens, c1.closes)
+	}
+}
+
+// nullScoreInput builds a descending-score input with NULL scores
+// interspersed; every tuple joins on key=1.
+func nullScoreInput(name string, scores []any) Operator {
+	sch := relation.NewSchema(
+		relation.Column{Table: name, Name: "id", Kind: relation.KindInt},
+		relation.Column{Table: name, Name: "key", Kind: relation.KindInt},
+		relation.Column{Table: name, Name: "score", Kind: relation.KindFloat},
+	)
+	tuples := make([]relation.Tuple, len(scores))
+	for i, s := range scores {
+		v := relation.Null()
+		if f, ok := s.(float64); ok {
+			v = relation.Float(f)
+		}
+		tuples[i] = relation.Tuple{relation.Int(int64(i)), relation.Int(1), v}
+	}
+	return FromTuples(sch, tuples)
+}
+
+// TestHRJNDepthCountsNullScoreTuples: depth is the number of tuples read
+// from an input — exactly what a Counter around the input measures — so a
+// tuple dropped for a NULL score still counts. Before the fix the stats
+// mirrored lSeen/rSeen, which skip NULL-score tuples.
+func TestHRJNDepthCountsNullScoreTuples(t *testing.T) {
+	left := NewCounter(nullScoreInput("A", []any{0.9, nil, 0.8, nil}))
+	right := NewCounter(nullScoreInput("B", []any{0.7, nil, 0.5}))
+	j := NewHRJN(left, right,
+		expr.Col("A", "score"), expr.Col("B", "score"),
+		expr.Col("A", "key"), expr.Col("B", "key"), nil)
+	tuples, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 4 { // 2 non-NULL left × 2 non-NULL right, all key=1
+		t.Fatalf("got %d results, want 4", len(tuples))
+	}
+	st := j.Stats()
+	if st.LeftDepth != left.Count() || st.RightDepth != right.Count() {
+		t.Errorf("stats depths (%d,%d) disagree with Counter measurements (%d,%d)",
+			st.LeftDepth, st.RightDepth, left.Count(), right.Count())
+	}
+	if st.LeftDepth != 4 || st.RightDepth != 3 {
+		t.Errorf("depths (%d,%d) must include NULL-score tuples, want (4,3)",
+			st.LeftDepth, st.RightDepth)
+	}
+}
+
+// TestNRJNDepthCountsNullScoreTuples: same invariant for NRJN — the outer
+// depth counts NULL-score tuples that were consumed, and the inner depth is
+// the full materialized input size before NULL filtering.
+func TestNRJNDepthCountsNullScoreTuples(t *testing.T) {
+	outer := NewCounter(nullScoreInput("A", []any{0.9, nil, 0.8}))
+	inner := nullScoreInput("B", []any{0.7, nil, nil, 0.5})
+	j := NewNRJN(outer, inner,
+		expr.Col("A", "score"), expr.Col("B", "score"),
+		expr.Bin(expr.OpEq, expr.Col("A", "key"), expr.Col("B", "key")))
+	tuples, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 4 { // 2 non-NULL outer × 2 non-NULL inner
+		t.Fatalf("got %d results, want 4", len(tuples))
+	}
+	st := j.Stats()
+	if st.LeftDepth != outer.Count() {
+		t.Errorf("outer depth %d disagrees with Counter %d", st.LeftDepth, outer.Count())
+	}
+	if st.LeftDepth != 3 {
+		t.Errorf("outer depth %d must include the NULL-score tuple, want 3", st.LeftDepth)
+	}
+	if st.RightDepth != 4 {
+		t.Errorf("inner depth %d must be the raw materialized size, want 4", st.RightDepth)
+	}
+}
+
+// TestMultiHRJNDepthCountsNullScoreTuples extends the invariant to the m-way
+// operator's per-input depth vector.
+func TestMultiHRJNDepthCountsNullScoreTuples(t *testing.T) {
+	in0 := NewCounter(nullScoreInput("A", []any{0.9, nil, 0.8}))
+	in1 := NewCounter(nullScoreInput("B", []any{0.7, nil, nil, 0.5}))
+	j, err := NewMultiHRJN([]Operator{in0, in1},
+		[]expr.Expr{expr.Col("A", "score"), expr.Col("B", "score")},
+		[]expr.Expr{expr.Col("A", "key"), expr.Col("B", "key")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(j); err != nil {
+		t.Fatal(err)
+	}
+	d := j.Depths()
+	if d[0] != in0.Count() || d[1] != in1.Count() {
+		t.Errorf("depths %v disagree with Counters (%d,%d)", d, in0.Count(), in1.Count())
+	}
+	if d[0] != 3 || d[1] != 4 {
+		t.Errorf("depths %v must include NULL-score tuples, want [3 4]", d)
+	}
+}

@@ -18,7 +18,9 @@ import (
 type Operator interface {
 	// Schema describes the tuples produced by Next.
 	Schema() *relation.Schema
-	// Open prepares the operator (recursively opening children).
+	// Open prepares the operator (recursively opening children). When Open
+	// returns an error the operator has already closed every child it
+	// managed to open; callers must not Close a failed operator.
 	Open() error
 	// Next returns the next tuple; ok=false signals exhaustion.
 	Next() (t relation.Tuple, ok bool, err error)
@@ -26,7 +28,19 @@ type Operator interface {
 	Close() error
 }
 
+// closeQuietly closes already-opened children on an Open failure path. The
+// Open error takes precedence, so Close errors are discarded.
+func closeQuietly(ops ...Operator) {
+	for _, op := range ops {
+		if op != nil {
+			_ = op.Close()
+		}
+	}
+}
+
 // Collect opens op, drains it, closes it, and returns all produced tuples.
+// A failed Open needs no Close: per the Operator contract the operator has
+// already released whatever it opened.
 func Collect(op Operator) ([]relation.Tuple, error) {
 	if err := op.Open(); err != nil {
 		return nil, err

@@ -133,8 +133,26 @@ func (j *HRJN) Open() error {
 		return err
 	}
 	if err := j.Right.Open(); err != nil {
+		closeQuietly(j.Left)
 		return err
 	}
+	if err := j.bind(); err != nil {
+		closeQuietly(j.Left, j.Right)
+		return err
+	}
+	j.lTable = map[any][]scored{}
+	j.rTable = map[any][]scored{}
+	j.pq = j.pq[:0]
+	j.seq = 0
+	j.lSeen, j.rSeen = 0, 0
+	j.lDone, j.rDone = false, false
+	j.pullLeft = true
+	j.stats = RankJoinStats{}
+	return nil
+}
+
+// bind resolves the score, key, and residual evaluators.
+func (j *HRJN) bind() error {
 	var err error
 	if j.lScore, err = j.LeftScore.Bind(j.Left.Schema()); err != nil {
 		return err
@@ -148,18 +166,8 @@ func (j *HRJN) Open() error {
 	if j.rKey, err = j.RightKey.Bind(j.Right.Schema()); err != nil {
 		return err
 	}
-	if j.resEv, err = bindPred(j.Residual, j.schema); err != nil {
-		return err
-	}
-	j.lTable = map[any][]scored{}
-	j.rTable = map[any][]scored{}
-	j.pq = j.pq[:0]
-	j.seq = 0
-	j.lSeen, j.rSeen = 0, 0
-	j.lDone, j.rDone = false, false
-	j.pullLeft = true
-	j.stats = RankJoinStats{}
-	return nil
+	j.resEv, err = bindPred(j.Residual, j.schema)
+	return err
 }
 
 // threshold upper-bounds the combined score of every join result not yet in
@@ -204,6 +212,14 @@ func (j *HRJN) pull(left bool) error {
 		}
 		return nil
 	}
+	// Depth is the number of tuples read from the input, so the tuple counts
+	// as consumed before any NULL-score drop — matching what a Counter
+	// wrapped around the input would measure.
+	if left {
+		j.stats.LeftDepth++
+	} else {
+		j.stats.RightDepth++
+	}
 	var s relation.Value
 	if left {
 		s, err = j.lScore(t)
@@ -235,7 +251,6 @@ func (j *HRJN) pull(left bool) error {
 		}
 		j.lastL = sc
 		j.lSeen++
-		j.stats.LeftDepth = j.lSeen
 	} else {
 		if j.rSeen == 0 {
 			j.topR = sc
@@ -244,7 +259,6 @@ func (j *HRJN) pull(left bool) error {
 		}
 		j.lastR = sc
 		j.rSeen++
-		j.stats.RightDepth = j.rSeen
 	}
 	if k.IsNull() {
 		return nil
@@ -399,6 +413,17 @@ func (j *NRJN) Open() error {
 	if err := j.Left.Open(); err != nil {
 		return err
 	}
+	if err := j.load(); err != nil {
+		// The inner was opened and closed inside Collect; only the outer
+		// remains to clean up.
+		closeQuietly(j.Left)
+		return err
+	}
+	return nil
+}
+
+// load binds evaluators and materializes the scored inner input.
+func (j *NRJN) load() error {
 	var err error
 	if j.lScore, err = j.LeftScore.Bind(j.Left.Schema()); err != nil {
 		return err
@@ -422,6 +447,8 @@ func (j *NRJN) Open() error {
 			return err
 		}
 		if v.IsNull() {
+			// NULL-score inner tuples cannot rank but were still consumed:
+			// they count toward RightDepth below.
 			continue
 		}
 		s := v.AsFloat()
@@ -434,7 +461,7 @@ func (j *NRJN) Open() error {
 	j.seq = 0
 	j.lSeen = 0
 	j.lDone = false
-	j.stats = RankJoinStats{RightDepth: len(j.inner)}
+	j.stats = RankJoinStats{RightDepth: len(inner)}
 	return nil
 }
 
@@ -473,6 +500,9 @@ func (j *NRJN) Next() (relation.Tuple, bool, error) {
 			j.lDone = true
 			continue
 		}
+		// The tuple was consumed from the outer input: it counts toward the
+		// depth even when a NULL score drops it from ranking.
+		j.stats.LeftDepth++
 		v, err := j.lScore(t)
 		if err != nil {
 			return nil, false, err
@@ -486,7 +516,6 @@ func (j *NRJN) Next() (relation.Tuple, bool, error) {
 		}
 		j.lastL = s
 		j.lSeen++
-		j.stats.LeftDepth = j.lSeen
 		for _, m := range j.inner {
 			out := t.Concat(m.t)
 			pass, err := expr.EvalBool(j.predEv, out)

@@ -45,6 +45,15 @@ func (s *Sort) Open() error {
 	if err := s.In.Open(); err != nil {
 		return err
 	}
+	if err := s.load(); err != nil {
+		closeQuietly(s.In)
+		return err
+	}
+	return nil
+}
+
+// load binds the sort keys and drains the opened input into the buffer.
+func (s *Sort) load() error {
 	evals := make([]expr.Eval, len(s.Keys))
 	for i, k := range s.Keys {
 		ev, err := k.E.Bind(s.In.Schema())

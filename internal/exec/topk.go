@@ -65,6 +65,15 @@ func (t *TopK) Open() error {
 	if err := t.In.Open(); err != nil {
 		return err
 	}
+	if err := t.load(); err != nil {
+		closeQuietly(t.In)
+		return err
+	}
+	return nil
+}
+
+// load binds the score and drains the opened input through the heap.
+func (t *TopK) load() error {
 	ev, err := t.Score.Bind(t.In.Schema())
 	if err != nil {
 		return err
