@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench throughput ci
+.PHONY: all fmt vet build test race bench throughput plancache ci
 
 all: ci
 
@@ -26,5 +26,9 @@ bench:
 # Concurrent-session throughput sweep; emits BENCH_throughput.json.
 throughput: build
 	$(GO) run ./cmd/raqo-bench -concurrency -out BENCH_throughput.json
+
+# Plan-cache cold/warm sweep; emits BENCH_plancache.json.
+plancache: build
+	$(GO) run ./cmd/raqo-bench -plancache -out BENCH_plancache.json
 
 ci: fmt vet build race

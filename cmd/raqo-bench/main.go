@@ -9,10 +9,17 @@
 //	raqo-bench fig6 fig13      # run selected experiments
 //	raqo-bench -concurrency    # concurrent-session throughput sweep,
 //	                           # written to BENCH_throughput.json
+//	raqo-bench -plancache      # plan-cache cold/warm sweep, written to
+//	                           # BENCH_plancache.json
 //
 // The -concurrency mode runs a fixed batch of top-k sessions over one shared
 // catalog at each worker count (-workers, default 1,2,4,8), prints the
 // resulting table, and writes the JSON artifact to -out.
+//
+// The -plancache mode replays one repeated-query batch against a
+// cache-disabled engine (cold: parse + optimize every session) and a primed
+// cache-enabled engine (warm: plan-cache hit every session), reporting
+// throughput and allocations per query for both.
 package main
 
 import (
@@ -28,16 +35,32 @@ import (
 func main() {
 	var (
 		concurrency = flag.Bool("concurrency", false, "run the concurrent-session throughput sweep")
-		out         = flag.String("out", "BENCH_throughput.json", "artifact path for -concurrency")
-		rows        = flag.Int("rows", 0, "override rows per table (-concurrency)")
-		queries     = flag.Int("queries", 0, "override sessions per point (-concurrency)")
-		workers     = flag.String("workers", "", "override comma-separated worker counts (-concurrency)")
+		plancache   = flag.Bool("plancache", false, "run the plan-cache cold/warm sweep")
+		out         = flag.String("out", "", "artifact path (defaults per mode)")
+		rows        = flag.Int("rows", 0, "override rows per table (sweep modes)")
+		queries     = flag.Int("queries", 0, "override sessions per point (sweep modes)")
+		workers     = flag.String("workers", "", "override comma-separated worker counts (sweep modes)")
 		optWorkers  = flag.Int("opt-workers", 0, "optimizer DP workers per session (-concurrency)")
 	)
 	flag.Parse()
 
 	if *concurrency {
-		if err := runConcurrency(*out, *rows, *queries, *workers, *optWorkers); err != nil {
+		path := *out
+		if path == "" {
+			path = "BENCH_throughput.json"
+		}
+		if err := runConcurrency(path, *rows, *queries, *workers, *optWorkers); err != nil {
+			fmt.Fprintln(os.Stderr, "raqo-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *plancache {
+		path := *out
+		if path == "" {
+			path = "BENCH_plancache.json"
+		}
+		if err := runPlanCache(path, *rows, *queries, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "raqo-bench:", err)
 			os.Exit(1)
 		}
@@ -46,7 +69,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Println("usage: raqo-bench all | <experiment>... | -concurrency")
+		fmt.Println("usage: raqo-bench all | <experiment>... | -concurrency | -plancache")
 		fmt.Println("experiments:")
 		for _, e := range bench.All() {
 			fmt.Printf("  %-10s %s\n", e.Name, e.What)
@@ -98,6 +121,40 @@ func runConcurrency(out string, rows, queries int, workers string, optWorkers in
 		}
 	}
 	rep, err := bench.Throughput(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Table())
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func runPlanCache(out string, rows, queries int, workers string) error {
+	cfg := bench.DefaultPlanCacheConfig()
+	if rows > 0 {
+		cfg.Rows = rows
+	}
+	if queries > 0 {
+		cfg.Queries = queries
+	}
+	if workers != "" {
+		cfg.Workers = nil
+		for _, f := range strings.Split(workers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -workers value %q", f)
+			}
+			cfg.Workers = append(cfg.Workers, n)
+		}
+	}
+	rep, err := bench.PlanCache(cfg)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,10 @@
 // generates ranked tables T1..Tm (columns id, key, score) with score and key
 // indexes; -corpus generates the multimedia feature corpus instead
 // (ColorHist, ColorLayout, Texture, Edges with columns id, score).
+//
+// All statements in one process share a single engine, so repeated queries
+// are served from its plan cache; `\stats` in the REPL reports the cache's
+// hit/miss counters.
 package main
 
 import (
@@ -23,9 +27,8 @@ import (
 
 	"rankopt/internal/catalog"
 	"rankopt/internal/core"
-	"rankopt/internal/exec"
+	"rankopt/internal/engine"
 	"rankopt/internal/plan"
-	"rankopt/internal/sqlparse"
 	"rankopt/internal/workload"
 )
 
@@ -40,6 +43,7 @@ func main() {
 		maxRows     = flag.Int("maxrows", 20, "result rows to display")
 		baseline    = flag.Bool("baseline", false, "disable rank-aware optimization")
 		stats       = flag.Bool("stats", false, "after execution, report measured vs estimated rank-join depths")
+		noCache     = flag.Bool("nocache", false, "disable the plan cache")
 	)
 	flag.Parse()
 
@@ -54,9 +58,12 @@ func main() {
 	}
 	fmt.Printf("loaded tables: %s (%d rows each)\n", strings.Join(names, ", "), *rows)
 
-	opts := core.Options{DisableRankAware: *baseline}
+	eng := engine.NewWithConfig(cat, engine.Config{
+		Options:          core.Options{DisableRankAware: *baseline},
+		DisablePlanCache: *noCache,
+	})
 	run := func(sql string) {
-		if err := runQuery(os.Stdout, cat, sql, opts, *explainOnly, *maxRows, *stats); err != nil {
+		if err := runQuery(os.Stdout, eng, sql, *explainOnly, *maxRows, *stats); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}
@@ -69,7 +76,11 @@ func main() {
 	fmt.Print("raqo> ")
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
-		if line != "" {
+		switch {
+		case line == "":
+		case line == `\stats`:
+			printCacheStats(os.Stdout, eng)
+		default:
 			run(line)
 		}
 		fmt.Print("raqo> ")
@@ -80,77 +91,43 @@ func main() {
 	}
 }
 
-// predLabel names a rank-join for the stats report. An NRJN over a
-// residual-only predicate has no equi-predicates, so EqPreds may be empty.
-func predLabel(n *plan.Node) string {
-	if len(n.EqPreds) > 0 {
-		return n.EqPreds[0].String()
-	}
-	if n.Pred != nil {
-		return n.Pred.String()
-	}
-	return "<no predicate>"
+// printCacheStats renders the engine's plan-cache counters (the REPL's
+// `\stats` command).
+func printCacheStats(w io.Writer, eng *engine.Engine) {
+	st := eng.CacheStats()
+	fmt.Fprintf(w, "plan cache: hits=%d misses=%d invalidations=%d entries=%d\n",
+		st.Hits, st.Misses, st.Invalidations, st.Entries)
 }
 
-func runQuery(w io.Writer, cat *catalog.Catalog, sql string, opts core.Options, explainOnly bool, maxRows int, stats bool) error {
-	q, err := sqlparse.Parse(sql)
-	if err != nil {
-		return err
+// runQuery sends one statement through the shared engine and renders the
+// response: plan, optional depth stats, and result rows.
+func runQuery(w io.Writer, eng *engine.Engine, sql string, explainOnly bool, maxRows int, stats bool) error {
+	resp := eng.Run(engine.Request{SQL: sql, ExplainOnly: explainOnly})
+	if resp.Err != nil {
+		return resp.Err
 	}
-	res, err := core.Optimize(cat, q, opts)
-	if err != nil {
-		return err
+	cacheNote := "miss"
+	if resp.CacheHit {
+		cacheNote = "hit"
 	}
-	fmt.Fprintf(w, "plans generated=%d kept=%d\n", res.PlansGenerated, res.PlansKept)
-	fmt.Fprint(w, plan.Explain(res.Best))
+	fmt.Fprintf(w, "plans generated=%d kept=%d (plan cache %s)\n",
+		resp.PlansGenerated, resp.PlansKept, cacheNote)
+	fmt.Fprint(w, plan.Explain(resp.Plan))
 	if explainOnly {
 		return nil
 	}
-	type rj struct {
-		node *plan.Node
-		op   exec.StatsReporter
-	}
-	var rankJoins []rj
-	op, err := plan.CompileTraced(cat, res.Best, func(n *plan.Node, o exec.Operator) {
-		if sr, ok := o.(exec.StatsReporter); ok && n.Op.IsRankJoin() {
-			rankJoins = append(rankJoins, rj{n, sr})
-		}
-	})
-	if err != nil {
-		return err
-	}
-	tuples, err := exec.Collect(op)
-	if err != nil {
-		return err
-	}
-	if stats && len(rankJoins) > 0 {
-		// Propagate the query's k down the plan to know each rank-join's
-		// demand, then compare measured depths with the Section 4 estimate.
-		kByNode := map[*plan.Node]float64{}
-		rootK := float64(q.K)
-		if rootK <= 0 {
-			rootK = res.Best.Card
-		}
-		plan.PropagateK(res.Best, rootK, func(n *plan.Node, k float64) {
-			kByNode[n] = k
-		})
+	if stats && len(resp.RankJoins) > 0 {
 		fmt.Fprintln(w, "-- rank-join depths: measured vs estimated --")
-		for _, r := range rankJoins {
-			dL, dR := r.node.Depths(kByNode[r.node])
-			st := r.op.Stats()
+		for _, rj := range resp.RankJoins {
 			fmt.Fprintf(w, "%s(%s): measured dL=%d dR=%d buffer=%d | estimated dL=%.0f dR=%.0f\n",
-				r.node.Op, predLabel(r.node), st.LeftDepth, st.RightDepth, st.MaxQueue, dL, dR)
+				rj.Op, rj.Pred, rj.Stats.LeftDepth, rj.Stats.RightDepth, rj.Stats.MaxQueue,
+				rj.EstDL, rj.EstDR)
 		}
 	}
-	sch := op.Schema()
-	var cols []string
-	for i := 0; i < sch.Len(); i++ {
-		cols = append(cols, sch.Column(i).QualifiedName())
-	}
-	fmt.Fprintln(w, strings.Join(cols, " | "))
-	for i, tup := range tuples {
+	fmt.Fprintln(w, strings.Join(resp.Columns, " | "))
+	for i, tup := range resp.Tuples {
 		if i >= maxRows {
-			fmt.Fprintf(w, "... (%d more rows)\n", len(tuples)-maxRows)
+			fmt.Fprintf(w, "... (%d more rows)\n", len(resp.Tuples)-maxRows)
 			break
 		}
 		var vals []string
@@ -159,6 +136,6 @@ func runQuery(w io.Writer, cat *catalog.Catalog, sql string, opts core.Options, 
 		}
 		fmt.Fprintln(w, strings.Join(vals, " | "))
 	}
-	fmt.Fprintf(w, "(%d rows)\n", len(tuples))
+	fmt.Fprintf(w, "(%d rows)\n", len(resp.Tuples))
 	return nil
 }

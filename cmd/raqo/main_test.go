@@ -5,41 +5,23 @@ import (
 	"testing"
 
 	"rankopt/internal/core"
-	"rankopt/internal/expr"
-	"rankopt/internal/logical"
-	"rankopt/internal/plan"
+	"rankopt/internal/engine"
 	"rankopt/internal/workload"
 )
 
-// predLabel used to index EqPreds[0] unguarded, panicking on rank joins
-// without equi-predicates (NRJN accepts residual-only predicates).
-func TestPredLabelEqPredFreeNRJN(t *testing.T) {
-	n := &plan.Node{
-		Op:   plan.OpNRJN,
-		Pred: expr.Bin(expr.OpLt, expr.Col("A", "key"), expr.Col("B", "key")),
-	}
-	if got := predLabel(n); !strings.Contains(got, "<") || got == "<no predicate>" {
-		t.Errorf("residual-only label = %q, want the predicate text", got)
-	}
-	if got := predLabel(&plan.Node{Op: plan.OpNRJN}); got != "<no predicate>" {
-		t.Errorf("bare node label = %q", got)
-	}
-	withEq := &plan.Node{
-		Op:      plan.OpNRJN,
-		EqPreds: []logical.JoinPred{{L: expr.Col("A", "key"), R: expr.Col("B", "key")}},
-	}
-	if got := predLabel(withEq); !strings.Contains(got, "A.key") {
-		t.Errorf("equi-pred label = %q, want it to name A.key", got)
-	}
+func testREPLEngine(t *testing.T, tables, rows int, sel float64, seed int64) *engine.Engine {
+	t.Helper()
+	cat, _ := workload.RankedSet(tables, workload.RankedConfig{N: rows, Selectivity: sel, Seed: seed})
+	return engine.New(cat, core.Options{})
 }
 
 // The full stats path: a ranked 2-table top-k query must execute and print
 // the measured-vs-estimated depth report without panicking.
 func TestRunQueryStatsPath(t *testing.T) {
-	cat, _ := workload.RankedSet(2, workload.RankedConfig{N: 5000, Selectivity: 0.02, Seed: 31})
+	eng := testREPLEngine(t, 2, 5000, 0.02, 31)
 	var b strings.Builder
 	sql := "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 5"
-	if err := runQuery(&b, cat, sql, core.Options{}, false, 10, true); err != nil {
+	if err := runQuery(&b, eng, sql, false, 10, true); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -56,13 +38,40 @@ func TestRunQueryStatsPath(t *testing.T) {
 
 // Explain-only mode must stop before execution.
 func TestRunQueryExplainOnly(t *testing.T) {
-	cat, _ := workload.RankedSet(2, workload.RankedConfig{N: 500, Selectivity: 0.05, Seed: 32})
+	eng := testREPLEngine(t, 2, 500, 0.05, 32)
 	var b strings.Builder
 	sql := "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 3"
-	if err := runQuery(&b, cat, sql, core.Options{}, true, 10, false); err != nil {
+	if err := runQuery(&b, eng, sql, true, 10, false); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(b.String(), "rows)") {
 		t.Errorf("explain-only output contains result rows:\n%s", b.String())
+	}
+}
+
+// The REPL shares one engine across statements, so a repeated statement must
+// be served from the plan cache and say so, and \stats must report the
+// counters.
+func TestRunQueryPlanCacheAcrossStatements(t *testing.T) {
+	eng := testREPLEngine(t, 2, 500, 0.05, 33)
+	sql := "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 3"
+	var first, second strings.Builder
+	if err := runQuery(&first, eng, sql, false, 10, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery(&second, eng, sql, false, 10, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "(plan cache miss)") {
+		t.Errorf("first statement should miss:\n%s", first.String())
+	}
+	if !strings.Contains(second.String(), "(plan cache hit)") {
+		t.Errorf("repeated statement should hit:\n%s", second.String())
+	}
+	var stats strings.Builder
+	printCacheStats(&stats, eng)
+	out := stats.String()
+	if !strings.Contains(out, "hits=1") || !strings.Contains(out, "misses=1") {
+		t.Errorf(`\stats output = %q, want hits=1 misses=1`, out)
 	}
 }

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"rankopt/internal/core"
+	"rankopt/internal/engine"
+	"rankopt/internal/workload"
+)
+
+// A miniature sweep must produce one clean cold/warm point per worker count,
+// show the warm side hitting the cache, and round-trip its JSON artifact.
+func TestPlanCacheSmoke(t *testing.T) {
+	cfg := PlanCacheConfig{
+		Tables: 3, Rows: 800, Selectivity: 0.02, Seed: 9,
+		Queries: 8, K: 5, Workers: []int{1, 4},
+	}
+	rep, err := PlanCache(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != len(cfg.Workers) {
+		t.Fatalf("%d points, want %d", len(rep.Points), len(cfg.Workers))
+	}
+	for _, p := range rep.Points {
+		if p.ColdQPS <= 0 || p.WarmQPS <= 0 {
+			t.Errorf("workers=%d: non-positive QPS (cold=%v warm=%v)", p.Workers, p.ColdQPS, p.WarmQPS)
+		}
+		if p.Speedup <= 0 {
+			t.Errorf("workers=%d: non-positive speedup %v", p.Workers, p.Speedup)
+		}
+	}
+	if rep.CacheHits == 0 {
+		t.Error("warm engine recorded zero cache hits")
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PlanCacheReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if back.Config.Queries != cfg.Queries || len(back.Points) != len(rep.Points) {
+		t.Error("artifact lost fields in the round trip")
+	}
+}
+
+// benchEngines builds the shared catalog and batch once per benchmark
+// process.
+func benchSetup(b *testing.B) (cold, warm *engine.Engine, reqs []engine.Request) {
+	b.Helper()
+	cfg := PlanCacheConfig{
+		Tables: 4, Rows: 1000, Selectivity: 0.01, Seed: 7,
+		Queries: 16, K: 5, Workers: []int{1},
+	}
+	cat, _ := workload.RankedSet(cfg.Tables, workload.RankedConfig{
+		N: cfg.Rows, Selectivity: cfg.Selectivity, Seed: cfg.Seed,
+	})
+	cold = engine.NewWithConfig(cat, engine.Config{DisablePlanCache: true})
+	warm = engine.NewWithConfig(cat, engine.Config{Options: core.Options{}})
+	reqs = planCacheQueries(cfg)
+	if err := firstErr(warm.RunAll(reqs, 1)); err != nil {
+		b.Fatal(err)
+	}
+	return cold, warm, reqs
+}
+
+// BenchmarkPlanCacheCold measures the full parse+optimize+execute pipeline
+// per session batch.
+func BenchmarkPlanCacheCold(b *testing.B) {
+	cold, _, reqs := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := firstErr(cold.RunAll(reqs, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCacheWarm measures the served path: every session hits the
+// primed cache and only re-instantiates and executes.
+func BenchmarkPlanCacheWarm(b *testing.B) {
+	_, warm, reqs := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := firstErr(warm.RunAll(reqs, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -30,6 +30,7 @@ func All() []Experiment {
 		{"mway", "Ablation: m-way HRJN vs binary HRJN tree", AblationMultiwayHRJN},
 		{"taplan", "Ablation: Fagin-TA plan vs optimizer's winner", AblationRankAggregate},
 		{"throughput", "Concurrent session throughput at 1/2/4/8 workers", ThroughputExperiment},
+		{"plancache", "Plan cache: cold vs warm throughput and allocations", PlanCacheExperiment},
 	}
 }
 

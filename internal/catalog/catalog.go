@@ -9,6 +9,7 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"rankopt/internal/btree"
 	"rankopt/internal/expr"
@@ -57,10 +58,23 @@ type Table struct {
 // Catalog is the collection of tables known to the engine.
 type Catalog struct {
 	tables map[string]*Table
+	// epoch counts metadata mutations (table set, indexes, statistics).
+	// Consumers that cache anything derived from catalog statistics — the
+	// engine's plan cache in particular — key their entries on the epoch so
+	// a RefreshStats or AddTable invalidates them without coordination.
+	epoch atomic.Uint64
 }
 
 // New creates an empty catalog.
 func New() *Catalog { return &Catalog{tables: map[string]*Table{}} }
+
+// StatsEpoch returns the current metadata epoch. It increases on every
+// mutation that can change planning decisions: AddTable, CreateIndex,
+// DropIndex, RebuildIndex, and RefreshStats.
+func (c *Catalog) StatsEpoch() uint64 { return c.epoch.Load() }
+
+// bumpEpoch marks a metadata mutation.
+func (c *Catalog) bumpEpoch() { c.epoch.Add(1) }
 
 // AddTable registers a relation under its name, computing statistics.
 // It replaces any previous entry of the same name.
@@ -68,6 +82,7 @@ func (c *Catalog) AddTable(rel *relation.Relation) *Table {
 	t := &Table{Rel: rel}
 	t.Stats = ComputeStats(rel)
 	c.tables[rel.Name] = t
+	c.bumpEpoch()
 	return t
 }
 
@@ -123,6 +138,7 @@ func (c *Catalog) CreateIndex(table, column string, clustered bool) (*Index, err
 		Tree:      tree,
 	}
 	t.Indexes = append(t.Indexes, idx)
+	c.bumpEpoch()
 	return idx, nil
 }
 
@@ -136,6 +152,7 @@ func (c *Catalog) DropIndex(table, column string) bool {
 	for i, idx := range t.Indexes {
 		if idx.Column == column {
 			t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+			c.bumpEpoch()
 			return true
 		}
 	}
@@ -161,6 +178,7 @@ func (c *Catalog) RefreshStats(table string) error {
 		return err
 	}
 	t.Stats = ComputeStats(t.Rel)
+	c.bumpEpoch()
 	return nil
 }
 

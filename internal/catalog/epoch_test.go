@@ -1,0 +1,55 @@
+package catalog
+
+import "testing"
+
+// Every statistics-bearing mutation must advance the stats epoch — the plan
+// cache keys its validity on it — while pure reads must not.
+func TestStatsEpochAdvancesOnMutation(t *testing.T) {
+	c := New()
+	e0 := c.StatsEpoch()
+	c.AddTable(makeTable("A", 50))
+	e1 := c.StatsEpoch()
+	if e1 <= e0 {
+		t.Error("AddTable did not bump the epoch")
+	}
+	if _, err := c.CreateIndex("A", "score", false); err != nil {
+		t.Fatal(err)
+	}
+	e2 := c.StatsEpoch()
+	if e2 <= e1 {
+		t.Error("CreateIndex did not bump the epoch")
+	}
+	if err := c.RefreshStats("A"); err != nil {
+		t.Fatal(err)
+	}
+	e3 := c.StatsEpoch()
+	if e3 <= e2 {
+		t.Error("RefreshStats did not bump the epoch")
+	}
+	if !c.DropIndex("A", "score") {
+		t.Fatal("DropIndex found nothing")
+	}
+	e4 := c.StatsEpoch()
+	if e4 <= e3 {
+		t.Error("DropIndex did not bump the epoch")
+	}
+
+	// Reads leave the epoch alone.
+	if _, err := c.Table("A"); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Names()
+	_ = c.Cardinality("A")
+	_ = c.ColStats("A", "score")
+	if c.StatsEpoch() != e4 {
+		t.Error("read-only access moved the epoch")
+	}
+
+	// Dropping a missing index is a no-op and must not invalidate plans.
+	if c.DropIndex("A", "nosuch") {
+		t.Fatal("DropIndex invented an index")
+	}
+	if c.StatsEpoch() != e4 {
+		t.Error("failed DropIndex bumped the epoch")
+	}
+}

@@ -8,8 +8,19 @@
 // treated as immutable once an Engine is constructed over it; sessions only
 // read it, so they need no locks. Everything mutable — the optimizer's
 // MEMO, compiled operator trees, rank-join stats — is private to one
-// session. Within a session the optimizer may additionally parallelize its
-// DP levels (core.Options.Workers); the two levels of parallelism compose.
+// session, except the plan cache, which is sharded and internally
+// synchronized. Within a session the optimizer may additionally parallelize
+// its DP levels (core.Options.Workers); the two levels of parallelism
+// compose.
+//
+// The plan cache sits between parsing and optimization: a session whose
+// query text was seen before skips both; a session whose canonical
+// fingerprint (see sqlparse.Fingerprint — the top-k bound is parameterized
+// out) matches a cached template skips optimization and only re-instantiates
+// a session-private operator tree from the shared immutable template.
+// Catalog statistics changes (RefreshStats, AddTable, CreateIndex, ...)
+// bump the catalog's stats epoch, which lazily invalidates every cached
+// plan built under the old statistics.
 package engine
 
 import (
@@ -32,13 +43,44 @@ import (
 type Engine struct {
 	cat  *catalog.Catalog
 	opts core.Options
+	// cache is the sharded plan cache; nil when disabled by Config.
+	cache *planCache
 }
 
-// New constructs an engine over a loaded catalog. The options apply to
-// every session; they are copied, so later mutation of the caller's value
-// has no effect.
+// Config controls engine construction beyond the per-session optimizer
+// options.
+type Config struct {
+	// Options apply to every session's optimizer run.
+	Options core.Options
+	// DisablePlanCache turns the plan cache off: every session runs the
+	// full parse+optimize pipeline. Useful for cold-path benchmarks and for
+	// cached-vs-uncached identity tests.
+	DisablePlanCache bool
+}
+
+// New constructs an engine over a loaded catalog with the plan cache
+// enabled. The options apply to every session; they are copied, so later
+// mutation of the caller's value has no effect.
 func New(cat *catalog.Catalog, opts core.Options) *Engine {
-	return &Engine{cat: cat, opts: opts}
+	return NewWithConfig(cat, Config{Options: opts})
+}
+
+// NewWithConfig constructs an engine with explicit configuration.
+func NewWithConfig(cat *catalog.Catalog, cfg Config) *Engine {
+	e := &Engine{cat: cat, opts: cfg.Options}
+	if !cfg.DisablePlanCache {
+		e.cache = newPlanCache()
+	}
+	return e
+}
+
+// CacheStats snapshots the plan cache's hit/miss/invalidation counters and
+// entry count. All zeros when the cache is disabled.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
 }
 
 // Request is one query session's input.
@@ -47,6 +89,9 @@ type Request struct {
 	ID string
 	// SQL is the top-k query text.
 	SQL string
+	// ExplainOnly stops the session after planning: the Response carries
+	// the plan (and cache/optimizer counters) but no tuples.
+	ExplainOnly bool
 }
 
 // RankJoinStat pairs one rank-join operator of the executed plan with its
@@ -59,6 +104,9 @@ type RankJoinStat struct {
 	Pred string
 	// Stats are the measured depths and buffer size.
 	Stats exec.RankJoinStats
+	// EstDL and EstDR are the optimizer's Section-4 depth-model estimates
+	// for this join at the session's k, for measured-vs-estimated display.
+	EstDL, EstDR float64
 }
 
 // Response is one query session's complete outcome. Err is set (and the
@@ -70,7 +118,15 @@ type Response struct {
 	Columns []string
 	// Tuples is the full result set in output order.
 	Tuples []relation.Tuple
+	// Plan is the session's physical plan (session-private; callers may
+	// render it with plan.Explain).
+	Plan *plan.Node
+	// CacheHit reports whether the plan came from the plan cache (at either
+	// the text or the fingerprint level) rather than a fresh optimizer run.
+	CacheHit bool
 	// PlansGenerated and PlansKept report the optimizer's enumeration work.
+	// On a cache hit they replay the counters of the run that built the
+	// cached template.
 	PlansGenerated int
 	PlansKept      int
 	// RankJoins holds the measured stats of every rank-join in the plan.
@@ -92,6 +148,63 @@ func rankJoinPredLabel(n *plan.Node) string {
 	return "<no predicate>"
 }
 
+// planFor produces a session-private plan for the SQL text, consulting the
+// plan cache when enabled. The returned tree is always a fresh instantiation
+// (never a shared cached tree), rebound to the query's k and annotated with
+// depth hints.
+func (e *Engine) planFor(sql string) (root *plan.Node, hit bool, gen, kept int, err error) {
+	if e.cache == nil {
+		tmpl, g, k, qk, err := e.optimize(sql)
+		if err != nil {
+			return nil, false, 0, 0, err
+		}
+		return tmpl.Instantiate(qk), false, g, k, nil
+	}
+	epoch := e.cat.StatsEpoch()
+	// Level 1: exact query text — skips lexing and parsing.
+	if fp, qk, ok := e.cache.lookupText(sql, epoch); ok {
+		if tmpl, ok := e.cache.lookupPlan(fp, epoch); ok {
+			e.cache.hits.Add(1)
+			return tmpl.Instantiate(qk), true, tmpl.PlansGenerated, tmpl.PlansKept, nil
+		}
+	}
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, false, 0, 0, fmt.Errorf("engine: parse: %w", err)
+	}
+	fp := sqlparse.Fingerprint(q)
+	e.cache.storeText(sql, fp, q.K, epoch)
+	// Level 2: canonical fingerprint — skips optimization.
+	if tmpl, ok := e.cache.lookupPlan(fp, epoch); ok {
+		e.cache.hits.Add(1)
+		return tmpl.Instantiate(q.K), true, tmpl.PlansGenerated, tmpl.PlansKept, nil
+	}
+	e.cache.misses.Add(1)
+	res, err := core.Optimize(e.cat, q, e.opts)
+	if err != nil {
+		return nil, false, 0, 0, fmt.Errorf("engine: optimize: %w", err)
+	}
+	tmpl := plan.NewTemplate(res.Best, q.K, res.PlansGenerated, res.PlansKept)
+	e.cache.storePlan(fp, tmpl, epoch)
+	return tmpl.Instantiate(q.K), false, res.PlansGenerated, res.PlansKept, nil
+}
+
+// optimize is the cache-free pipeline: parse and optimize, wrapping the
+// result in a throwaway template so instantiation (clone + depth hints)
+// behaves identically with the cache on or off.
+func (e *Engine) optimize(sql string) (tmpl *plan.Template, gen, kept, qk int, err error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("engine: parse: %w", err)
+	}
+	res, err := core.Optimize(e.cat, q, e.opts)
+	if err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("engine: optimize: %w", err)
+	}
+	return plan.NewTemplate(res.Best, q.K, res.PlansGenerated, res.PlansKept),
+		res.PlansGenerated, res.PlansKept, q.K, nil
+}
+
 // Run executes one complete query session and never panics on malformed
 // input: all failures surface in Response.Err.
 func (e *Engine) Run(req Request) Response {
@@ -102,22 +215,24 @@ func (e *Engine) Run(req Request) Response {
 		resp.Elapsed = time.Since(start)
 		return resp
 	}
-	q, err := sqlparse.Parse(req.SQL)
+	root, hit, gen, kept, err := e.planFor(req.SQL)
 	if err != nil {
-		return fail(fmt.Errorf("engine: parse: %w", err))
+		return fail(err)
 	}
-	res, err := core.Optimize(e.cat, q, e.opts)
-	if err != nil {
-		return fail(fmt.Errorf("engine: optimize: %w", err))
+	resp.Plan = root
+	resp.CacheHit = hit
+	resp.PlansGenerated = gen
+	resp.PlansKept = kept
+	if req.ExplainOnly {
+		resp.Elapsed = time.Since(start)
+		return resp
 	}
-	resp.PlansGenerated = res.PlansGenerated
-	resp.PlansKept = res.PlansKept
 	type tracedJoin struct {
 		node *plan.Node
 		op   exec.StatsReporter
 	}
 	var joins []tracedJoin
-	op, err := plan.CompileTraced(e.cat, res.Best, func(n *plan.Node, o exec.Operator) {
+	op, err := plan.CompileTraced(e.cat, root, func(n *plan.Node, o exec.Operator) {
 		if sr, ok := o.(exec.StatsReporter); ok && n.Op.IsRankJoin() {
 			joins = append(joins, tracedJoin{n, sr})
 		}
@@ -136,12 +251,16 @@ func (e *Engine) Run(req Request) Response {
 		resp.Columns[i] = sch.Column(i).QualifiedName()
 	}
 	// Stats are read only after Collect closed the operators: the session
-	// owns the tree, so no other goroutine can observe partial stats.
+	// owns the tree, so no other goroutine can observe partial stats. The
+	// estimated depths were annotated on the session's plan clone during
+	// instantiation (plan.AnnotateDepthHints).
 	for _, tj := range joins {
 		resp.RankJoins = append(resp.RankJoins, RankJoinStat{
 			Op:    tj.node.Op.String(),
 			Pred:  rankJoinPredLabel(tj.node),
 			Stats: tj.op.Stats(),
+			EstDL: tj.node.EstDL,
+			EstDR: tj.node.EstDR,
 		})
 	}
 	resp.Elapsed = time.Since(start)

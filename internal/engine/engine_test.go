@@ -76,12 +76,16 @@ func TestRunCapturesErrors(t *testing.T) {
 	}
 }
 
-// stripElapsed zeroes the wall-clock field so concurrent and sequential
-// responses compare equal.
+// stripElapsed zeroes the fields that legitimately vary between runs —
+// wall-clock time, the session-private plan pointer, and whether the plan
+// cache happened to be warm — so concurrent and sequential responses
+// compare equal on what matters: tuples, columns, stats, and errors.
 func stripElapsed(rs []Response) []Response {
 	out := append([]Response(nil), rs...)
 	for i := range out {
 		out[i].Elapsed = 0
+		out[i].Plan = nil
+		out[i].CacheHit = false
 	}
 	return out
 }
@@ -149,6 +153,8 @@ func TestPool(t *testing.T) {
 	for i, ch := range chans {
 		got := <-ch
 		got.Elapsed = 0
+		got.Plan = nil
+		got.CacheHit = false
 		ge, we := got.Err, want[i].Err
 		if (ge == nil) != (we == nil) {
 			t.Errorf("%s: err %v, want %v", reqs[i].ID, ge, we)

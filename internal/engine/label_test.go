@@ -1,0 +1,32 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"rankopt/internal/expr"
+	"rankopt/internal/logical"
+	"rankopt/internal/plan"
+)
+
+// rankJoinPredLabel must not index EqPreds[0] unguarded: an NRJN over a
+// residual-only predicate has no equi-predicates.
+func TestRankJoinPredLabelEqPredFreeNRJN(t *testing.T) {
+	n := &plan.Node{
+		Op:   plan.OpNRJN,
+		Pred: expr.Bin(expr.OpLt, expr.Col("A", "key"), expr.Col("B", "key")),
+	}
+	if got := rankJoinPredLabel(n); !strings.Contains(got, "<") || got == "<no predicate>" {
+		t.Errorf("residual-only label = %q, want the predicate text", got)
+	}
+	if got := rankJoinPredLabel(&plan.Node{Op: plan.OpNRJN}); got != "<no predicate>" {
+		t.Errorf("bare node label = %q", got)
+	}
+	withEq := &plan.Node{
+		Op:      plan.OpNRJN,
+		EqPreds: []logical.JoinPred{{L: expr.Col("A", "key"), R: expr.Col("B", "key")}},
+	}
+	if got := rankJoinPredLabel(withEq); !strings.Contains(got, "A.key") {
+		t.Errorf("equi-pred label = %q, want it to name A.key", got)
+	}
+}

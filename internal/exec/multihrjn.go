@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -38,6 +37,9 @@ type MultiHRJN struct {
 	next     int
 	pq       rankQueue
 	seq      int
+	// parts is the combination scratch buffer, reused across pulls so the
+	// per-tuple path does not allocate it.
+	parts []scored
 
 	depths   []int
 	maxQueue int
@@ -100,6 +102,7 @@ func (j *MultiHRJN) Open() error {
 	j.depths = make([]int, m)
 	j.next = 0
 	j.pq = j.pq[:0]
+	j.parts = make([]scored, m)
 	j.seq = 0
 	j.maxQueue = 0
 	j.emitted = 0
@@ -193,9 +196,8 @@ func (j *MultiHRJN) pull(i int) error {
 	j.tables[i][hk] = append(j.tables[i][hk], scored{t, s})
 	// Enumerate combinations: the new tuple at position i, matching tuples
 	// from every other input.
-	parts := make([]scored, len(j.Inputs))
-	parts[i] = scored{t, s}
-	return j.combine(hk, 0, i, parts)
+	j.parts[i] = scored{t, s}
+	return j.combine(hk, 0, i, j.parts)
 }
 
 // combine recursively fills every slot except `fixed` with matches under hk.
@@ -207,7 +209,7 @@ func (j *MultiHRJN) combine(hk any, slot, fixed int, parts []scored) error {
 			total += p.s
 			out = append(out, p.t...)
 		}
-		heap.Push(&j.pq, rankItem{score: total, seq: j.seq, tuple: out})
+		j.pq.push(rankItem{score: total, seq: j.seq, tuple: out})
 		j.seq++
 		if len(j.pq) > j.maxQueue {
 			j.maxQueue = len(j.pq)
@@ -230,13 +232,13 @@ func (j *MultiHRJN) combine(hk any, slot, fixed int, parts []scored) error {
 func (j *MultiHRJN) Next() (relation.Tuple, bool, error) {
 	for {
 		if len(j.pq) > 0 && j.pq[0].score >= j.threshold()-scoreEps {
-			it := heap.Pop(&j.pq).(rankItem)
+			it := j.pq.pop()
 			j.emitted++
 			return it.tuple, true, nil
 		}
 		if j.allDone() {
 			if len(j.pq) > 0 {
-				it := heap.Pop(&j.pq).(rankItem)
+				it := j.pq.pop()
 				j.emitted++
 				return it.tuple, true, nil
 			}
@@ -262,5 +264,6 @@ func (j *MultiHRJN) Close() error {
 	}
 	j.tables = nil
 	j.pq = nil
+	j.parts = nil
 	return first
 }

@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -51,23 +50,75 @@ type rankItem struct {
 }
 
 // rankQueue is a max-heap on score with FIFO tie-breaking for determinism.
+// It is hand-rolled rather than layered over container/heap: the standard
+// heap's any-typed Push/Pop interface boxes every rankItem, costing two
+// heap allocations per buffered result on the rank joins' per-tuple path.
+// (score, seq) is a strict total order — seq is unique — so the pop order
+// is identical to container/heap's regardless of internal arrangement.
 type rankQueue []rankItem
 
-func (q rankQueue) Len() int { return len(q) }
-func (q rankQueue) Less(i, j int) bool {
+// prior reports whether element i beats element j (higher score, FIFO ties).
+func (q rankQueue) prior(i, j int) bool {
 	if q[i].score != q[j].score {
 		return q[i].score > q[j].score
 	}
 	return q[i].seq < q[j].seq
 }
-func (q rankQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *rankQueue) Push(x any)   { *q = append(*q, x.(rankItem)) }
-func (q *rankQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
+
+// push inserts an item, sifting it up to its heap position.
+func (q *rankQueue) push(it rankItem) {
+	s := append(*q, it)
+	*q = s
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.prior(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+// pop removes and returns the top item. The vacated slot is zeroed before
+// the slice shrinks so the popped tuple becomes GC-reclaimable as soon as
+// the caller drops it — leaving it in the slice's spare capacity would pin
+// every emitted tuple until the operator closes.
+func (q *rankQueue) pop() rankItem {
+	s := *q
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	it := s[n]
+	s[n] = rankItem{}
+	s = s[:n]
+	*q = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && s.prior(r, l) {
+			best = r
+		}
+		if !s.prior(best, i) {
+			break
+		}
+		s[i], s[best] = s[best], s[i]
+		i = best
+	}
 	return it
+}
+
+// grow ensures capacity for the optimizer's buffered-results hint without
+// changing length.
+func (q *rankQueue) grow(hint int) {
+	if hint > 0 && cap(*q) < hint {
+		*q = make(rankQueue, 0, hint)
+	} else {
+		*q = (*q)[:0]
+	}
 }
 
 // HRJN is the hash rank-join operator: a symmetric hash join whose output is
@@ -87,6 +138,12 @@ type HRJN struct {
 	Residual expr.Expr
 	// Strategy selects the polling policy (default Alternate).
 	Strategy PullStrategy
+	// SizeHintL/SizeHintR/QueueHint are the optimizer's expected input
+	// depths and buffered-result count (plan.Node.EstDL/EstDR and their
+	// product times the join selectivity). They pre-size the hash tables
+	// and the ranking queue so the steady-state pull loop does not rehash
+	// or regrow. Zero means no hint.
+	SizeHintL, SizeHintR, QueueHint int
 
 	schema                     *relation.Schema
 	lScore, rScore, lKey, rKey expr.Eval
@@ -95,6 +152,7 @@ type HRJN struct {
 	lTable, rTable map[any][]scored
 	pq             rankQueue
 	seq            int
+	outPool        tuplePool
 
 	topL, lastL  float64
 	topR, lastR  float64
@@ -140,9 +198,10 @@ func (j *HRJN) Open() error {
 		closeQuietly(j.Left, j.Right)
 		return err
 	}
-	j.lTable = map[any][]scored{}
-	j.rTable = map[any][]scored{}
-	j.pq = j.pq[:0]
+	j.lTable = make(map[any][]scored, sizeHint(float64(j.SizeHintL)))
+	j.rTable = make(map[any][]scored, sizeHint(float64(j.SizeHintR)))
+	j.pq.grow(sizeHint(float64(j.QueueHint)))
+	j.outPool.reset(j.schema.Len())
 	j.seq = 0
 	j.lSeen, j.rSeen = 0, 0
 	j.lDone, j.rDone = false, false
@@ -283,17 +342,20 @@ func (j *HRJN) pull(left bool) error {
 }
 
 // emit pushes a candidate join result through the residual predicate into
-// the priority queue.
+// the priority queue. The concatenated tuple comes from the operator's free
+// list; a candidate the residual rejects returns there immediately, so
+// selective residuals cost no allocation per rejected match.
 func (j *HRJN) emit(l, r relation.Tuple, score float64) error {
-	out := l.Concat(r)
+	out := j.outPool.concat(l, r)
 	pass, err := expr.EvalBool(j.resEv, out)
 	if err != nil {
 		return err
 	}
 	if !pass {
+		j.outPool.put(out)
 		return nil
 	}
-	heap.Push(&j.pq, rankItem{score: score, seq: j.seq, tuple: out})
+	j.pq.push(rankItem{score: score, seq: j.seq, tuple: out})
 	j.seq++
 	if len(j.pq) > j.stats.MaxQueue {
 		j.stats.MaxQueue = len(j.pq)
@@ -331,13 +393,13 @@ func (j *HRJN) chooseSide() bool {
 func (j *HRJN) Next() (relation.Tuple, bool, error) {
 	for {
 		if len(j.pq) > 0 && j.pq[0].score >= j.threshold()-scoreEps {
-			it := heap.Pop(&j.pq).(rankItem)
+			it := j.pq.pop()
 			j.stats.Emitted++
 			return it.tuple, true, nil
 		}
 		if j.lDone && j.rDone {
 			if len(j.pq) > 0 {
-				it := heap.Pop(&j.pq).(rankItem)
+				it := j.pq.pop()
 				j.stats.Emitted++
 				return it.tuple, true, nil
 			}
@@ -375,6 +437,9 @@ type NRJN struct {
 	// Pred is the full join predicate over the concatenated tuple (NRJN
 	// performs no hashing, so any predicate works, not just equi-joins).
 	Pred expr.Expr
+	// QueueHint pre-sizes the ranking queue from the optimizer's estimated
+	// buffered-result count (zero = no hint).
+	QueueHint int
 
 	schema *relation.Schema
 	lScore expr.Eval
@@ -384,6 +449,7 @@ type NRJN struct {
 	innerMax float64
 	pq       rankQueue
 	seq      int
+	outPool  tuplePool
 	lastL    float64
 	lSeen    int
 	lDone    bool
@@ -439,7 +505,11 @@ func (j *NRJN) load() error {
 	if err != nil {
 		return err
 	}
-	j.inner = j.inner[:0]
+	if cap(j.inner) < len(inner) {
+		j.inner = make([]scored, 0, len(inner))
+	} else {
+		j.inner = j.inner[:0]
+	}
 	j.innerMax = math.Inf(-1)
 	for _, t := range inner {
 		v, err := rScore(t)
@@ -457,7 +527,8 @@ func (j *NRJN) load() error {
 			j.innerMax = s
 		}
 	}
-	j.pq = j.pq[:0]
+	j.pq.grow(sizeHint(float64(j.QueueHint)))
+	j.outPool.reset(j.schema.Len())
 	j.seq = 0
 	j.lSeen = 0
 	j.lDone = false
@@ -480,13 +551,13 @@ func (j *NRJN) threshold() float64 {
 func (j *NRJN) Next() (relation.Tuple, bool, error) {
 	for {
 		if len(j.pq) > 0 && j.pq[0].score >= j.threshold()-scoreEps {
-			it := heap.Pop(&j.pq).(rankItem)
+			it := j.pq.pop()
 			j.stats.Emitted++
 			return it.tuple, true, nil
 		}
 		if j.lDone {
 			if len(j.pq) > 0 {
-				it := heap.Pop(&j.pq).(rankItem)
+				it := j.pq.pop()
 				j.stats.Emitted++
 				return it.tuple, true, nil
 			}
@@ -517,15 +588,16 @@ func (j *NRJN) Next() (relation.Tuple, bool, error) {
 		j.lastL = s
 		j.lSeen++
 		for _, m := range j.inner {
-			out := t.Concat(m.t)
+			out := j.outPool.concat(t, m.t)
 			pass, err := expr.EvalBool(j.predEv, out)
 			if err != nil {
 				return nil, false, err
 			}
 			if !pass {
+				j.outPool.put(out)
 				continue
 			}
-			heap.Push(&j.pq, rankItem{score: s + m.s, seq: j.seq, tuple: out})
+			j.pq.push(rankItem{score: s + m.s, seq: j.seq, tuple: out})
 			j.seq++
 			if len(j.pq) > j.stats.MaxQueue {
 				j.stats.MaxQueue = len(j.pq)

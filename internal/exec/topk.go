@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"container/heap"
 	"sort"
 
 	"rankopt/internal/expr"
@@ -40,24 +39,54 @@ type topKItem struct {
 
 // topKHeap is a min-heap on (score, -seq): the root is the weakest kept
 // tuple; later arrivals lose ties so the operator is deterministic and
-// stable.
+// stable. Like rankQueue it is hand-rolled — container/heap's any-typed
+// interface would box a topKItem per insertion on the per-input-tuple path.
 type topKHeap []topKItem
 
-func (h topKHeap) Len() int { return len(h) }
-func (h topKHeap) Less(i, j int) bool {
+// weaker reports whether element i loses to element j (lower score; on a
+// tie the later arrival is weaker).
+func (h topKHeap) weaker(i, j int) bool {
 	if h[i].score != h[j].score {
 		return h[i].score < h[j].score
 	}
 	return h[i].seq > h[j].seq
 }
-func (h topKHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *topKHeap) Push(x any)   { *h = append(*h, x.(topKItem)) }
-func (h *topKHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+// push inserts an item, sifting it up.
+func (h *topKHeap) push(it topKItem) {
+	s := append(*h, it)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.weaker(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+// fixRoot restores the heap after the root (the weakest kept tuple) was
+// replaced in place.
+func (h topKHeap) fixRoot() {
+	n := len(h)
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		weakest := l
+		if r := l + 1; r < n && h.weaker(r, l) {
+			weakest = r
+		}
+		if !h.weaker(weakest, i) {
+			break
+		}
+		h[i], h[weakest] = h[weakest], h[i]
+		i = weakest
+	}
 }
 
 // Open implements Operator: drains the input through the bounded heap.
@@ -78,7 +107,7 @@ func (t *TopK) load() error {
 	if err != nil {
 		return err
 	}
-	var h topKHeap
+	h := make(topKHeap, 0, sizeHint(float64(t.K)))
 	seq := 0
 	for {
 		tup, ok, err := t.In.Next()
@@ -98,10 +127,10 @@ func (t *TopK) load() error {
 		s := v.AsFloat()
 		switch {
 		case len(h) < t.K:
-			heap.Push(&h, topKItem{score: s, seq: seq, tuple: tup})
+			h.push(topKItem{score: s, seq: seq, tuple: tup})
 		case s > h[0].score:
 			h[0] = topKItem{score: s, seq: seq, tuple: tup}
-			heap.Fix(&h, 0)
+			h.fixRoot()
 		}
 		seq++
 	}

@@ -1,0 +1,63 @@
+package exec
+
+import "rankopt/internal/relation"
+
+// tuplePool is a per-operator free list of concatenated output tuples. Rank
+// joins build a candidate tuple for every hash match, but candidates that
+// fail the residual predicate die immediately — recycling their backing
+// arrays keeps the per-tuple hot path from allocating for rejected
+// candidates. Tuples that survive into the ranking queue are eventually
+// handed to the caller (who owns them per the Operator contract) and are
+// never recycled.
+//
+// The pool is operator-private, so it needs no locking: operators are
+// session-private and driven by one goroutine.
+type tuplePool struct {
+	width int
+	free  []relation.Tuple
+}
+
+// reset prepares the pool for a tuple width (called from Open).
+func (p *tuplePool) reset(width int) {
+	p.width = width
+	p.free = p.free[:0]
+}
+
+// get returns an empty tuple with capacity for one output row.
+func (p *tuplePool) get() relation.Tuple {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return t[:0]
+	}
+	return make(relation.Tuple, 0, p.width)
+}
+
+// put recycles a tuple the operator no longer references. The caller must
+// not touch t afterwards.
+func (p *tuplePool) put(t relation.Tuple) {
+	p.free = append(p.free, t)
+}
+
+// concatInto appends l then r into a pooled buffer.
+func (p *tuplePool) concat(l, r relation.Tuple) relation.Tuple {
+	out := p.get()
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}
+
+// sizeHint clamps an optimizer estimate into a sane pre-allocation bound:
+// negative and zero hints mean "unknown" and huge hints (from degenerate
+// estimates) must not commit memory up front.
+func sizeHint(est float64) int {
+	const maxHint = 1 << 16
+	if est <= 0 {
+		return 0
+	}
+	if est > maxHint {
+		return maxHint
+	}
+	return int(est)
+}

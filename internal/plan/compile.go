@@ -182,6 +182,11 @@ func (c *compiler) build(n *Node) (exec.Operator, error) {
 		h := exec.NewHRJN(l, r, n.LScore, n.RScore,
 			n.EqPreds[0].L, n.EqPreds[0].R, n.residualAfterPrimary())
 		h.Strategy = n.Strategy
+		// Pre-size the hash tables and ranking queue from the depth model
+		// (zero when the plan was not annotated; see AnnotateDepthHints).
+		h.SizeHintL = int(n.EstDL)
+		h.SizeHintR = int(n.EstDR)
+		h.QueueHint = int(n.Sel * n.EstDL * n.EstDR)
 		return h, nil
 
 	case OpNRJN:
@@ -189,7 +194,9 @@ func (c *compiler) build(n *Node) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewNRJN(l, r, n.LScore, n.RScore, n.fullJoinPred()), nil
+		nr := exec.NewNRJN(l, r, n.LScore, n.RScore, n.fullJoinPred())
+		nr.QueueHint = int(n.Sel * n.EstDL * n.Right().Card)
+		return nr, nil
 
 	default:
 		return nil, fmt.Errorf("plan: cannot compile operator %v", n.Op)

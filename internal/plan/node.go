@@ -232,6 +232,12 @@ type Node struct {
 	BaseN            float64
 	LSlab, RSlab     float64
 
+	// EstDL/EstDR are the depth-model estimates for a rank-join node at the
+	// query's k, filled by AnnotateDepthHints; the compiler passes them to
+	// the executor as hash-table and queue pre-sizing hints. Zero means "no
+	// hint" (operators start empty and grow, exactly as before).
+	EstDL, EstDR float64
+
 	// P supplies the cost parameters; set once by the planner on every node.
 	P *costmodel.Params
 

@@ -1,0 +1,105 @@
+package sqlparse
+
+import (
+	"sort"
+	"strings"
+
+	"rankopt/internal/logical"
+)
+
+// Fingerprint renders a parsed query as a canonical string suitable for plan
+// caching: two queries share a fingerprint exactly when the optimizer would
+// plan them the same way, up to the literal top-k bound. Canonicalization
+// happens on the AST, so lexical differences in the SQL text — whitespace,
+// keyword case, `rank < 11` versus `rank <= 10`, conjunct order in WHERE —
+// collapse to one fingerprint.
+//
+// The k literal is parameterized out: only its presence (bounded versus
+// unbounded output) is recorded, because presence changes the plan shape (a
+// Limit node, TA eligibility) while the value only rebinds existing nodes.
+// Cached plan templates are therefore shared across k values and
+// re-instantiated with the session's k; see plan.Template.
+func Fingerprint(q *logical.Query) string {
+	var b strings.Builder
+	b.WriteString("tables=")
+	b.WriteString(strings.Join(q.Tables, ","))
+
+	// Join predicates: normalize each edge so the lexically smaller column
+	// is on the left, then sort the edge list. (A.x = B.x) and (B.x = A.x)
+	// describe the same join graph.
+	joins := make([]string, len(q.Joins))
+	for i, j := range q.Joins {
+		l, r := j.L.String(), j.R.String()
+		if r < l {
+			l, r = r, l
+		}
+		joins[i] = l + "=" + r
+	}
+	sort.Strings(joins)
+	b.WriteString("|joins=")
+	b.WriteString(strings.Join(joins, ";"))
+
+	// Filters commute: sort their canonical forms.
+	filters := make([]string, len(q.Filters))
+	for i, f := range q.Filters {
+		filters[i] = f.String()
+	}
+	sort.Strings(filters)
+	b.WriteString("|filters=")
+	b.WriteString(strings.Join(filters, ";"))
+
+	// ScoreSum.String is already canonical (sorted terms).
+	b.WriteString("|score=")
+	b.WriteString(q.Score.String())
+
+	b.WriteString("|order=")
+	if q.OrderBy.Name != "" {
+		b.WriteString(q.OrderBy.String())
+		if q.OrderDesc {
+			b.WriteString(" desc")
+		}
+	}
+
+	// Only the presence of a bound is part of the plan shape.
+	b.WriteString("|k=")
+	if q.K > 0 {
+		b.WriteString("bounded")
+	} else {
+		b.WriteString("all")
+	}
+
+	// Projection order matters to the output schema: keep declared order.
+	b.WriteString("|select=")
+	for i, s := range q.Select {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(s.E.String())
+		b.WriteString(" as ")
+		b.WriteString(s.As)
+	}
+
+	b.WriteString("|group=")
+	for i, g := range q.GroupBy {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(g.String())
+	}
+	b.WriteString("|aggs=")
+	for i, a := range q.Aggs {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(a.Func)
+		b.WriteByte('(')
+		if a.Arg != nil {
+			b.WriteString(a.Arg.String())
+		} else {
+			b.WriteByte('*')
+		}
+		b.WriteString(") as ")
+		b.WriteString(a.As)
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package sqlparse
+
+import "testing"
+
+func mustFP(t *testing.T, sql string) string {
+	t.Helper()
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("%q: %v", sql, err)
+	}
+	return Fingerprint(q)
+}
+
+// Spelling variation — whitespace, keyword case, and the LIMIT value — must
+// collapse to one fingerprint: these all reuse one cached plan shape.
+func TestFingerprintNormalizesSpellingAndK(t *testing.T) {
+	base := mustFP(t, "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 5")
+	same := []string{
+		"select * from T1, T2 where T1.key = T2.key order by T1.score + T2.score desc limit 5",
+		"SELECT  *  FROM T1,  T2  WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 5",
+		"SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 50",
+		// Commutative score sum and reversed equi-predicate sides normalize.
+		"SELECT * FROM T1, T2 WHERE T2.key = T1.key ORDER BY T2.score + T1.score DESC LIMIT 5",
+	}
+	for _, sql := range same {
+		if fp := mustFP(t, sql); fp != base {
+			t.Errorf("fingerprint diverged\n%q\n  got  %s\n  want %s", sql, fp, base)
+		}
+	}
+}
+
+// Semantically different queries must not collide.
+func TestFingerprintSeparatesDistinctQueries(t *testing.T) {
+	base := mustFP(t, "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 5")
+	different := []string{
+		// Different table set.
+		"SELECT * FROM T2, T3 WHERE T2.key = T3.key ORDER BY T2.score + T3.score DESC LIMIT 5",
+		// Extra filter.
+		"SELECT * FROM T1, T2 WHERE T1.key = T2.key AND T1.score > 0.5 ORDER BY T1.score + T2.score DESC LIMIT 5",
+		// Different ranking expression.
+		"SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score DESC LIMIT 5",
+		// Unbounded: no LIMIT changes plan shape (no Limit node, no TA).
+		"SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC",
+	}
+	for _, sql := range different {
+		if fp := mustFP(t, sql); fp == base {
+			t.Errorf("distinct query collided with base fingerprint:\n%q\n%s", sql, fp)
+		}
+	}
+}
+
+// The fingerprint must record k only as presence (bounded vs all), never the
+// value — that is what lets one template serve every k.
+func TestFingerprintParameterizesKOut(t *testing.T) {
+	a := mustFP(t, "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 1")
+	b := mustFP(t, "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 1000000")
+	if a != b {
+		t.Errorf("k leaked into the fingerprint:\n%s\n%s", a, b)
+	}
+}
