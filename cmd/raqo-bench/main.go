@@ -11,6 +11,10 @@
 //	                           # written to BENCH_throughput.json
 //	raqo-bench -plancache      # plan-cache cold/warm sweep, written to
 //	                           # BENCH_plancache.json
+//	raqo-bench -analyze        # depth-model accuracy sweep (estimated vs
+//	                           # executed rank-join depths), written to
+//	                           # BENCH_analyze.json; exits nonzero when the
+//	                           # mean relative error exceeds -maxerr
 //
 // The -concurrency mode runs a fixed batch of top-k sessions over one shared
 // catalog at each worker count (-workers, default 1,2,4,8), prints the
@@ -20,6 +24,11 @@
 // cache-disabled engine (cold: parse + optimize every session) and a primed
 // cache-enabled engine (warm: plan-cache hit every session), reporting
 // throughput and allocations per query for both.
+//
+// The -analyze mode executes the canonical ranked-join shapes at several k
+// values with EXPLAIN ANALYZE instrumentation, compares each rank-join's
+// Section-4 depth estimates against the executed depths, and gates on the
+// mean relative error — CI's depth-model regression smoke test.
 package main
 
 import (
@@ -36,6 +45,8 @@ func main() {
 	var (
 		concurrency = flag.Bool("concurrency", false, "run the concurrent-session throughput sweep")
 		plancache   = flag.Bool("plancache", false, "run the plan-cache cold/warm sweep")
+		analyze     = flag.Bool("analyze", false, "run the depth-model accuracy sweep")
+		maxErr      = flag.Float64("maxerr", 3.0, "fail when the sweep's mean relative depth error exceeds this (-analyze)")
 		out         = flag.String("out", "", "artifact path (defaults per mode)")
 		rows        = flag.Int("rows", 0, "override rows per table (sweep modes)")
 		queries     = flag.Int("queries", 0, "override sessions per point (sweep modes)")
@@ -66,10 +77,21 @@ func main() {
 		}
 		return
 	}
+	if *analyze {
+		path := *out
+		if path == "" {
+			path = "BENCH_analyze.json"
+		}
+		if err := runAnalyze(path, *rows, *maxErr); err != nil {
+			fmt.Fprintln(os.Stderr, "raqo-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Println("usage: raqo-bench all | <experiment>... | -concurrency | -plancache")
+		fmt.Println("usage: raqo-bench all | <experiment>... | -concurrency | -plancache | -analyze")
 		fmt.Println("experiments:")
 		for _, e := range bench.All() {
 			fmt.Printf("  %-10s %s\n", e.Name, e.What)
@@ -134,6 +156,27 @@ func runConcurrency(out string, rows, queries int, workers string, optWorkers in
 	}
 	fmt.Printf("wrote %s\n", out)
 	return nil
+}
+
+func runAnalyze(out string, rows int, maxErr float64) error {
+	cfg := bench.DefaultAnalyzeConfig()
+	if rows > 0 {
+		cfg.Rows = rows
+	}
+	rep, err := bench.Analyze(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Table())
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return rep.CheckBound(maxErr)
 }
 
 func runPlanCache(out string, rows, queries int, workers string) error {

@@ -14,7 +14,11 @@
 //
 // All statements in one process share a single engine, so repeated queries
 // are served from its plan cache; `\stats` in the REPL reports the cache's
-// hit/miss counters.
+// hit/miss counters, `\metrics` the engine-wide session counters, and
+// `\analyze <SQL>` executes a statement with EXPLAIN ANALYZE instrumentation
+// (estimated vs actual cardinalities and rank-join depths, per-operator
+// times). The -metrics flag additionally serves /metrics (Prometheus text)
+// and /debug/engine (JSON) over HTTP on the given address.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 
@@ -44,6 +49,8 @@ func main() {
 		baseline    = flag.Bool("baseline", false, "disable rank-aware optimization")
 		stats       = flag.Bool("stats", false, "after execution, report measured vs estimated rank-join depths")
 		noCache     = flag.Bool("nocache", false, "disable the plan cache")
+		analyze     = flag.Bool("analyze", false, "execute with EXPLAIN ANALYZE instrumentation")
+		metricsAddr = flag.String("metrics", "", "serve /metrics and /debug/engine over HTTP on this address (e.g. :8080)")
 	)
 	flag.Parse()
 
@@ -62,13 +69,22 @@ func main() {
 		Options:          core.Options{DisableRankAware: *baseline},
 		DisablePlanCache: *noCache,
 	})
-	run := func(sql string) {
-		if err := runQuery(os.Stdout, eng, sql, *explainOnly, *maxRows, *stats); err != nil {
+	if *metricsAddr != "" {
+		go func() {
+			fmt.Printf("serving /metrics and /debug/engine on %s\n", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, eng.DebugMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "error: metrics server:", err)
+			}
+		}()
+	}
+	run := func(sql string, analyzed bool) {
+		opts := queryOpts{Explain: *explainOnly, Analyze: analyzed, MaxRows: *maxRows, Stats: *stats}
+		if err := runQuery(os.Stdout, eng, sql, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}
 	if flag.NArg() > 0 {
-		run(strings.Join(flag.Args(), " "))
+		run(strings.Join(flag.Args(), " "), *analyze)
 		return
 	}
 	sc := bufio.NewScanner(os.Stdin)
@@ -80,8 +96,12 @@ func main() {
 		case line == "":
 		case line == `\stats`:
 			printCacheStats(os.Stdout, eng)
+		case line == `\metrics`:
+			printMetrics(os.Stdout, eng)
+		case strings.HasPrefix(line, `\analyze `):
+			run(strings.TrimSpace(strings.TrimPrefix(line, `\analyze `)), true)
 		default:
-			run(line)
+			run(line, *analyze)
 		}
 		fmt.Print("raqo> ")
 	}
@@ -99,10 +119,33 @@ func printCacheStats(w io.Writer, eng *engine.Engine) {
 		st.Hits, st.Misses, st.Invalidations, st.Entries)
 }
 
+// printMetrics renders the engine-wide session counters (the REPL's
+// `\metrics` command).
+func printMetrics(w io.Writer, eng *engine.Engine) {
+	m := eng.Snapshot()
+	fmt.Fprintf(w, "sessions: queries=%d errors=%d analyzed=%d tuples=%d\n",
+		m.Queries, m.Errors, m.Analyzed, m.TuplesReturned)
+	fmt.Fprintf(w, "latency: avg=%.3fms p50=%.3fms p99=%.3fms\n",
+		m.AvgLatencyMillis, m.P50LatencyMillis, m.P99LatencyMillis)
+	fmt.Fprintf(w, "plan cache: hits=%d misses=%d invalidations=%d entries=%d\n",
+		m.CacheHits, m.CacheMisses, m.CacheInvalidations, m.CacheEntries)
+}
+
+// queryOpts selects what runQuery renders beyond the result rows.
+type queryOpts struct {
+	// Explain stops before execution; Analyze executes with per-operator
+	// instrumentation and renders the EXPLAIN ANALYZE tree.
+	Explain, Analyze bool
+	MaxRows          int
+	// Stats appends the measured-vs-estimated rank-join depth report.
+	Stats bool
+}
+
 // runQuery sends one statement through the shared engine and renders the
-// response: plan, optional depth stats, and result rows.
-func runQuery(w io.Writer, eng *engine.Engine, sql string, explainOnly bool, maxRows int, stats bool) error {
-	resp := eng.Run(engine.Request{SQL: sql, ExplainOnly: explainOnly})
+// response: plan (annotated with runtime stats under Analyze), optional depth
+// stats, and result rows.
+func runQuery(w io.Writer, eng *engine.Engine, sql string, o queryOpts) error {
+	resp := eng.Run(engine.Request{SQL: sql, ExplainOnly: o.Explain, Analyze: o.Analyze})
 	if resp.Err != nil {
 		return resp.Err
 	}
@@ -112,11 +155,15 @@ func runQuery(w io.Writer, eng *engine.Engine, sql string, explainOnly bool, max
 	}
 	fmt.Fprintf(w, "plans generated=%d kept=%d (plan cache %s)\n",
 		resp.PlansGenerated, resp.PlansKept, cacheNote)
-	fmt.Fprint(w, plan.Explain(resp.Plan))
-	if explainOnly {
+	if o.Analyze && resp.Analysis != nil {
+		fmt.Fprint(w, plan.FormatAnalyze(resp.Plan, resp.Analysis, true))
+	} else {
+		fmt.Fprint(w, plan.Explain(resp.Plan))
+	}
+	if o.Explain {
 		return nil
 	}
-	if stats && len(resp.RankJoins) > 0 {
+	if o.Stats && len(resp.RankJoins) > 0 {
 		fmt.Fprintln(w, "-- rank-join depths: measured vs estimated --")
 		for _, rj := range resp.RankJoins {
 			fmt.Fprintf(w, "%s(%s): measured dL=%d dR=%d buffer=%d | estimated dL=%.0f dR=%.0f\n",
@@ -126,8 +173,8 @@ func runQuery(w io.Writer, eng *engine.Engine, sql string, explainOnly bool, max
 	}
 	fmt.Fprintln(w, strings.Join(resp.Columns, " | "))
 	for i, tup := range resp.Tuples {
-		if i >= maxRows {
-			fmt.Fprintf(w, "... (%d more rows)\n", len(resp.Tuples)-maxRows)
+		if i >= o.MaxRows {
+			fmt.Fprintf(w, "... (%d more rows)\n", len(resp.Tuples)-o.MaxRows)
 			break
 		}
 		var vals []string

@@ -21,7 +21,7 @@ func TestRunQueryStatsPath(t *testing.T) {
 	eng := testREPLEngine(t, 2, 5000, 0.02, 31)
 	var b strings.Builder
 	sql := "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 5"
-	if err := runQuery(&b, eng, sql, false, 10, true); err != nil {
+	if err := runQuery(&b, eng, sql, queryOpts{MaxRows: 10, Stats: true}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -41,7 +41,7 @@ func TestRunQueryExplainOnly(t *testing.T) {
 	eng := testREPLEngine(t, 2, 500, 0.05, 32)
 	var b strings.Builder
 	sql := "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 3"
-	if err := runQuery(&b, eng, sql, true, 10, false); err != nil {
+	if err := runQuery(&b, eng, sql, queryOpts{Explain: true, MaxRows: 10}); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(b.String(), "rows)") {
@@ -56,10 +56,10 @@ func TestRunQueryPlanCacheAcrossStatements(t *testing.T) {
 	eng := testREPLEngine(t, 2, 500, 0.05, 33)
 	sql := "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 3"
 	var first, second strings.Builder
-	if err := runQuery(&first, eng, sql, false, 10, false); err != nil {
+	if err := runQuery(&first, eng, sql, queryOpts{MaxRows: 10}); err != nil {
 		t.Fatal(err)
 	}
-	if err := runQuery(&second, eng, sql, false, 10, false); err != nil {
+	if err := runQuery(&second, eng, sql, queryOpts{MaxRows: 10}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(first.String(), "(plan cache miss)") {
@@ -73,5 +73,51 @@ func TestRunQueryPlanCacheAcrossStatements(t *testing.T) {
 	out := stats.String()
 	if !strings.Contains(out, "hits=1") || !strings.Contains(out, "misses=1") {
 		t.Errorf(`\stats output = %q, want hits=1 misses=1`, out)
+	}
+}
+
+// The acceptance path: \analyze on a 3-way rank-join query must print
+// per-operator actual depths alongside the EstDL/EstDR estimates with
+// relative errors, plus the sampled per-operator times.
+func TestRunQueryAnalyzeThreeWay(t *testing.T) {
+	eng := testREPLEngine(t, 3, 2000, 0.01, 11)
+	var b strings.Builder
+	sql := "SELECT * FROM T1, T2, T3 WHERE T1.key = T2.key AND T2.key = T3.key ORDER BY T1.score + T2.score + T3.score DESC LIMIT 10"
+	if err := runQuery(&b, eng, sql, queryOpts{Analyze: true, MaxRows: 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "EXPLAIN ANALYZE (k=10)") {
+		t.Errorf("analyze header missing:\n%s", out)
+	}
+	if got := strings.Count(out, "depths: dL est="); got != 2 {
+		t.Errorf("want 2 rank-join depth lines (3-way join), got %d:\n%s", got, out)
+	}
+	for _, want := range []string{"act=", "err=", "queue hwm=", "(open=", "next≈", "(10 rows)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// \metrics must report the counters of the statements the session ran.
+func TestPrintMetrics(t *testing.T) {
+	eng := testREPLEngine(t, 2, 500, 0.05, 34)
+	sql := "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 3"
+	var b strings.Builder
+	if err := runQuery(&b, eng, sql, queryOpts{MaxRows: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runQuery(&b, eng, sql, queryOpts{Analyze: true, MaxRows: 10}); err != nil {
+		t.Fatal(err)
+	}
+	var m strings.Builder
+	printMetrics(&m, eng)
+	out := m.String()
+	if !strings.Contains(out, "queries=2") || !strings.Contains(out, "analyzed=1") {
+		t.Errorf(`\metrics output = %q, want queries=2 analyzed=1`, out)
+	}
+	if !strings.Contains(out, "plan cache:") || !strings.Contains(out, "latency:") {
+		t.Errorf(`\metrics output missing sections: %q`, out)
 	}
 }

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// smallAnalyzeConfig keeps the sweep fast under `go test`.
+func smallAnalyzeConfig() AnalyzeConfig {
+	return AnalyzeConfig{Tables: 3, Rows: 2000, Selectivity: 0.01, Seed: 11, Ks: []int{5, 20}}
+}
+
+func TestAnalyzeSweep(t *testing.T) {
+	rep, err := Analyze(smallAnalyzeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 shapes per k (the three 2-way rotations plus the 3-way join), the
+	// 3-way plan holding 2 rank joins → 5 samples per k, 2 ks.
+	if len(rep.Samples) != 10 {
+		t.Fatalf("%d samples, want 10", len(rep.Samples))
+	}
+	for _, s := range rep.Samples {
+		if s.ActDL <= 0 || s.ActDR <= 0 {
+			t.Errorf("%s k=%d: executed depths (%d,%d) not positive", s.Op, s.K, s.ActDL, s.ActDR)
+		}
+		if s.EstDL <= 0 || s.EstDR <= 0 {
+			t.Errorf("%s k=%d: estimated depths (%g,%g) not positive", s.Op, s.K, s.EstDL, s.EstDR)
+		}
+		if s.ErrL < 0 || s.ErrR < 0 {
+			t.Errorf("negative relative error in sample %+v", s)
+		}
+	}
+	if rep.MeanRelErr <= 0 || rep.MaxRelErr < rep.MeanRelErr {
+		t.Errorf("aggregates look wrong: mean=%g max=%g", rep.MeanRelErr, rep.MaxRelErr)
+	}
+
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back AnalyzeReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact not round-trippable: %v", err)
+	}
+	if back.MeanRelErr != rep.MeanRelErr || len(back.Samples) != len(rep.Samples) {
+		t.Error("JSON round trip lost data")
+	}
+
+	tab := rep.Table().String()
+	if !strings.Contains(tab, "Depth-model accuracy") || !strings.Contains(tab, "HRJN") {
+		t.Errorf("table rendering incomplete:\n%s", tab)
+	}
+}
+
+func TestAnalyzeCheckBound(t *testing.T) {
+	rep := &AnalyzeReport{MeanRelErr: 0.42}
+	if err := rep.CheckBound(0.5); err != nil {
+		t.Errorf("mean 0.42 under bound 0.5 should pass: %v", err)
+	}
+	if err := rep.CheckBound(0.1); err == nil {
+		t.Error("mean 0.42 over bound 0.1 should fail")
+	}
+}
+
+func TestAnalyzeConfigValidation(t *testing.T) {
+	if _, err := Analyze(AnalyzeConfig{Tables: 1, Ks: []int{5}}); err == nil {
+		t.Error("1-table sweep should be rejected")
+	}
+	if _, err := Analyze(AnalyzeConfig{Tables: 3, Rows: 100}); err == nil {
+		t.Error("empty Ks should be rejected")
+	}
+}

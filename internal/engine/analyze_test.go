@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"rankopt/internal/core"
+	"rankopt/internal/plan"
+)
+
+// goldenAnalyze is the byte-exact EXPLAIN ANALYZE tree for the seeded 3-way
+// rank join below (workload.RankedSet seed 11, see testEngine). Regenerate by
+// printing plan.FormatAnalyze(resp.Plan, resp.Analysis, false) when the depth
+// model, formatting, or workload generator deliberately changes.
+const goldenAnalyze = `EXPLAIN ANALYZE (k=10)
+Limit(10)  (rows est=10 act=10 err=0.0%)
+  Rank(1*T1.score + 1*T2.score + 1*T3.score)  (rows est=10 act=10 err=0.0%)
+    HRJN(T3.key = T2.key)  (rows est=10 act=10 err=0.0%)
+      depths: dL est=300 act=53 err=466.0% | dR est=23 act=52 err=56.7% | queue hwm=43 | pool hit=0 miss=49
+      Sort(1*T3.score desc)  (rows est=300 act=53 err=466.0%)
+        SeqScan(T3)  (rows est=2000 act=2000 err=0.0%)
+      HRJN(T2.key = T1.key)  (rows est=23 act=52 err=56.7%)
+        depths: dL est=95 act=116 err=18.2% | dR est=95 act=115 err=17.5% | queue hwm=74 | pool hit=0 miss=124
+        Sort(1*T2.score desc)  (rows est=95 act=116 err=18.2%)
+          SeqScan(T2)  (rows est=2000 act=2000 err=0.0%)
+        Sort(1*T1.score desc)  (rows est=95 act=115 err=17.5%)
+          SeqScan(T1)  (rows est=2000 act=2000 err=0.0%)
+`
+
+// TestAnalyzeGoldenTree pins the \analyze rendering end to end: a 3-way
+// rank-join session with Analyze set must produce a stable tree whose
+// rank-join lines carry estimated vs actual depths with relative errors.
+func TestAnalyzeGoldenTree(t *testing.T) {
+	eng := testEngine(t, core.Options{})
+	resp := eng.Run(Request{
+		ID:      "golden",
+		SQL:     "SELECT * FROM T1, T2, T3 WHERE T1.key = T2.key AND T2.key = T3.key ORDER BY T1.score + T2.score + T3.score DESC LIMIT 10",
+		Analyze: true,
+	})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if resp.Analysis == nil {
+		t.Fatal("Analyze request returned no Analysis")
+	}
+	got := plan.FormatAnalyze(resp.Plan, resp.Analysis, false)
+	if got != goldenAnalyze {
+		t.Errorf("analyze tree diverged from golden.\ngot:\n%s\nwant:\n%s", got, goldenAnalyze)
+	}
+	// The acceptance shape, independent of exact numbers: both rank joins
+	// report est and act depths plus a relative error per side.
+	if strings.Count(got, "depths: dL est=") != 2 {
+		t.Errorf("expected 2 rank-join depth lines, got:\n%s", got)
+	}
+}
+
+// TestAnalyzeWithTimesAddsTimings checks the timing variant renders sampled
+// wall times without disturbing the tree shape (it is excluded from the
+// golden comparison because times are nondeterministic).
+func TestAnalyzeWithTimesAddsTimings(t *testing.T) {
+	eng := testEngine(t, core.Options{})
+	resp := eng.Run(Request{
+		ID:      "timed",
+		SQL:     "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 5",
+		Analyze: true,
+	})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	got := plan.FormatAnalyze(resp.Plan, resp.Analysis, true)
+	if !strings.Contains(got, "(open=") || !strings.Contains(got, "next≈") {
+		t.Errorf("withTimes output missing timing fields:\n%s", got)
+	}
+}
+
+// TestAnalyzeOffLeavesNoCollector ensures plain sessions pay nothing: no
+// Analysis, no wrapped operators.
+func TestAnalyzeOffLeavesNoCollector(t *testing.T) {
+	eng := testEngine(t, core.Options{})
+	resp := eng.Run(Request{ID: "plain", SQL: "SELECT * FROM T1 LIMIT 3"})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if resp.Analysis != nil {
+		t.Fatal("non-analyze session carries an Analysis")
+	}
+}

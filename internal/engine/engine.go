@@ -45,6 +45,8 @@ type Engine struct {
 	opts core.Options
 	// cache is the sharded plan cache; nil when disabled by Config.
 	cache *planCache
+	// met aggregates every session into engine-wide counters (see metrics.go).
+	met metrics
 }
 
 // Config controls engine construction beyond the per-session optimizer
@@ -92,6 +94,11 @@ type Request struct {
 	// ExplainOnly stops the session after planning: the Response carries
 	// the plan (and cache/optimizer counters) but no tuples.
 	ExplainOnly bool
+	// Analyze compiles the plan with per-operator stats collectors (EXPLAIN
+	// ANALYZE): the Response additionally carries an AnalyzedPlan mapping
+	// every plan node to its measured tuple counts, depths, and sampled wall
+	// times, renderable with plan.FormatAnalyze.
+	Analyze bool
 }
 
 // RankJoinStat pairs one rank-join operator of the executed plan with its
@@ -131,6 +138,9 @@ type Response struct {
 	PlansKept      int
 	// RankJoins holds the measured stats of every rank-join in the plan.
 	RankJoins []RankJoinStat
+	// Analysis maps plan nodes to their runtime operator stats; set only for
+	// Analyze sessions. Render with plan.FormatAnalyze(resp.Plan, resp.Analysis).
+	Analysis *plan.AnalyzedPlan
 	// Elapsed is the wall time of the whole session.
 	Elapsed time.Duration
 	Err     error
@@ -206,8 +216,16 @@ func (e *Engine) optimize(sql string) (tmpl *plan.Template, gen, kept, qk int, e
 }
 
 // Run executes one complete query session and never panics on malformed
-// input: all failures surface in Response.Err.
+// input: all failures surface in Response.Err. Every session — successful,
+// failed, or explain-only — is folded into the engine-wide metrics.
 func (e *Engine) Run(req Request) Response {
+	resp := e.run(req)
+	e.met.observe(&resp, req.Analyze)
+	return resp
+}
+
+// run is the session pipeline behind Run.
+func (e *Engine) run(req Request) Response {
 	start := time.Now()
 	resp := Response{ID: req.ID, SQL: req.SQL}
 	fail := func(err error) Response {
@@ -232,11 +250,26 @@ func (e *Engine) Run(req Request) Response {
 		op   exec.StatsReporter
 	}
 	var joins []tracedJoin
-	op, err := plan.CompileTraced(e.cat, root, func(n *plan.Node, o exec.Operator) {
-		if sr, ok := o.(exec.StatsReporter); ok && n.Op.IsRankJoin() {
-			joins = append(joins, tracedJoin{n, sr})
+	var op exec.Operator
+	if req.Analyze {
+		// Analyze sessions thread a stats collector between every operator;
+		// the wrappers forward StatsReporter, so the rank-join depth report
+		// below works identically in both modes.
+		op, resp.Analysis, err = plan.CompileAnalyzed(e.cat, root)
+		if err == nil {
+			root.Walk(func(n *plan.Node) {
+				if a := resp.Analysis.Collector(n); a != nil && n.Op.IsRankJoin() {
+					joins = append(joins, tracedJoin{n, a})
+				}
+			})
 		}
-	})
+	} else {
+		op, err = plan.CompileTraced(e.cat, root, func(n *plan.Node, o exec.Operator) {
+			if sr, ok := o.(exec.StatsReporter); ok && n.Op.IsRankJoin() {
+				joins = append(joins, tracedJoin{n, sr})
+			}
+		})
+	}
 	if err != nil {
 		return fail(fmt.Errorf("engine: compile: %w", err))
 	}

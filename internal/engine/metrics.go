@@ -1,0 +1,211 @@
+package engine
+
+// This file is the engine-wide observability layer: every query session,
+// whatever goroutine runs it, lands in one block of atomic counters plus a
+// fixed-bucket latency histogram. Snapshot() exposes the aggregate
+// programmatically and DebugMux serves it over HTTP (stdlib only) as
+// Prometheus-style text at /metrics and as a JSON document at /debug/engine.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketBounds are the histogram's inclusive upper bounds. The
+// geometric 1-2.5-5 ladder spans sub-millisecond cache hits up to
+// multi-second cold optimizer runs; an implicit overflow bucket catches the
+// rest. Fixed buckets keep observation allocation-free and lock-free.
+var latencyBucketBounds = [...]time.Duration{
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+}
+
+const numLatencyBuckets = len(latencyBucketBounds) + 1
+
+// metrics is the engine's live counter block. All fields are atomics:
+// observation happens once per session (never per tuple) from arbitrarily
+// many worker goroutines.
+type metrics struct {
+	queries  atomic.Uint64
+	errors   atomic.Uint64
+	analyzed atomic.Uint64
+	tuples   atomic.Uint64
+
+	latencySumNanos atomic.Int64
+	latency         [numLatencyBuckets]atomic.Uint64
+}
+
+// bucketFor maps a session latency to its histogram bucket.
+func bucketFor(d time.Duration) int {
+	for i, b := range latencyBucketBounds {
+		if d <= b {
+			return i
+		}
+	}
+	return len(latencyBucketBounds)
+}
+
+// observe folds one finished session into the counters.
+func (m *metrics) observe(resp *Response, analyzed bool) {
+	m.queries.Add(1)
+	if resp.Err != nil {
+		m.errors.Add(1)
+	}
+	if analyzed {
+		m.analyzed.Add(1)
+	}
+	m.tuples.Add(uint64(len(resp.Tuples)))
+	m.latencySumNanos.Add(resp.Elapsed.Nanoseconds())
+	m.latency[bucketFor(resp.Elapsed)].Add(1)
+}
+
+// LatencyBucket is one cumulative histogram step of a Metrics snapshot.
+type LatencyBucket struct {
+	// UpperBoundMillis is the bucket's inclusive upper bound; the overflow
+	// bucket reports +Inf as a negative bound in JSON-friendly form (-1).
+	UpperBoundMillis float64 `json:"upper_bound_ms"`
+	// CumulativeCount counts sessions at or under the bound.
+	CumulativeCount uint64 `json:"cumulative_count"`
+}
+
+// Metrics is a point-in-time snapshot of the engine-wide counters.
+type Metrics struct {
+	Queries        uint64 `json:"queries"`
+	Errors         uint64 `json:"errors"`
+	Analyzed       uint64 `json:"analyzed"`
+	TuplesReturned uint64 `json:"tuples_returned"`
+
+	CacheHits          uint64 `json:"cache_hits"`
+	CacheMisses        uint64 `json:"cache_misses"`
+	CacheInvalidations uint64 `json:"cache_invalidations"`
+	CacheEntries       int    `json:"cache_entries"`
+
+	AvgLatencyMillis float64 `json:"avg_latency_ms"`
+	// P50LatencyMillis and P99LatencyMillis are histogram-quantile estimates:
+	// the upper bound of the bucket containing the quantile (the usual
+	// fixed-bucket approximation).
+	P50LatencyMillis float64         `json:"p50_latency_ms"`
+	P99LatencyMillis float64         `json:"p99_latency_ms"`
+	LatencyBuckets   []LatencyBucket `json:"latency_buckets"`
+}
+
+// Snapshot captures the engine-wide counters. Buckets are read without a
+// global lock, so a snapshot taken mid-traffic may be off by in-flight
+// sessions — fine for monitoring, which is its job.
+func (e *Engine) Snapshot() Metrics {
+	m := Metrics{
+		Queries:        e.met.queries.Load(),
+		Errors:         e.met.errors.Load(),
+		Analyzed:       e.met.analyzed.Load(),
+		TuplesReturned: e.met.tuples.Load(),
+	}
+	cs := e.CacheStats()
+	m.CacheHits, m.CacheMisses = cs.Hits, cs.Misses
+	m.CacheInvalidations, m.CacheEntries = cs.Invalidations, cs.Entries
+	if m.Queries > 0 {
+		m.AvgLatencyMillis = float64(e.met.latencySumNanos.Load()) / float64(m.Queries) / 1e6
+	}
+	var cum uint64
+	total := m.Queries
+	for i := 0; i < numLatencyBuckets; i++ {
+		cum += e.met.latency[i].Load()
+		m.LatencyBuckets = append(m.LatencyBuckets, LatencyBucket{
+			UpperBoundMillis: bucketBoundMillis(i),
+			CumulativeCount:  cum,
+		})
+	}
+	m.P50LatencyMillis = quantileBound(&e.met, total, 0.50)
+	m.P99LatencyMillis = quantileBound(&e.met, total, 0.99)
+	return m
+}
+
+// bucketBoundMillis renders bucket i's upper bound (-1 encodes +Inf).
+func bucketBoundMillis(i int) float64 {
+	if i >= len(latencyBucketBounds) {
+		return -1
+	}
+	return float64(latencyBucketBounds[i]) / 1e6
+}
+
+// quantileBound returns the upper bound (ms) of the first bucket whose
+// cumulative count reaches q·total; the overflow bucket reports the largest
+// finite bound (the estimate saturates there).
+func quantileBound(m *metrics, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	need := uint64(q * float64(total))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for i := 0; i < numLatencyBuckets; i++ {
+		cum += m.latency[i].Load()
+		if cum >= need {
+			if i >= len(latencyBucketBounds) {
+				break
+			}
+			return float64(latencyBucketBounds[i]) / 1e6
+		}
+	}
+	return float64(latencyBucketBounds[len(latencyBucketBounds)-1]) / 1e6
+}
+
+// DebugMux returns an http.Handler (stdlib ServeMux) exposing the engine:
+//
+//	/metrics      Prometheus-style text counters + latency histogram
+//	/debug/engine the full Metrics snapshot as JSON
+//
+// Mount it on any server, e.g. http.ListenAndServe(addr, eng.DebugMux()).
+func (e *Engine) DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", e.serveMetricsText)
+	mux.HandleFunc("/debug/engine", e.serveDebugJSON)
+	return mux
+}
+
+// serveMetricsText writes the Prometheus text exposition format.
+func (e *Engine) serveMetricsText(w http.ResponseWriter, _ *http.Request) {
+	m := e.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# TYPE raqo_queries_total counter\nraqo_queries_total %d\n", m.Queries)
+	fmt.Fprintf(w, "# TYPE raqo_errors_total counter\nraqo_errors_total %d\n", m.Errors)
+	fmt.Fprintf(w, "# TYPE raqo_analyzed_queries_total counter\nraqo_analyzed_queries_total %d\n", m.Analyzed)
+	fmt.Fprintf(w, "# TYPE raqo_tuples_returned_total counter\nraqo_tuples_returned_total %d\n", m.TuplesReturned)
+	fmt.Fprintf(w, "# TYPE raqo_plan_cache_hits_total counter\nraqo_plan_cache_hits_total %d\n", m.CacheHits)
+	fmt.Fprintf(w, "# TYPE raqo_plan_cache_misses_total counter\nraqo_plan_cache_misses_total %d\n", m.CacheMisses)
+	fmt.Fprintf(w, "# TYPE raqo_plan_cache_entries gauge\nraqo_plan_cache_entries %d\n", m.CacheEntries)
+	fmt.Fprintf(w, "# TYPE raqo_query_latency_seconds histogram\n")
+	for _, b := range m.LatencyBuckets {
+		le := "+Inf"
+		if b.UpperBoundMillis >= 0 {
+			le = fmt.Sprintf("%g", b.UpperBoundMillis/1e3)
+		}
+		fmt.Fprintf(w, "raqo_query_latency_seconds_bucket{le=%q} %d\n", le, b.CumulativeCount)
+	}
+	fmt.Fprintf(w, "raqo_query_latency_seconds_sum %g\n", float64(e.met.latencySumNanos.Load())/1e9)
+	fmt.Fprintf(w, "raqo_query_latency_seconds_count %d\n", m.Queries)
+}
+
+// serveDebugJSON writes the JSON snapshot.
+func (e *Engine) serveDebugJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(e.Snapshot())
+}

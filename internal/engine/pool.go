@@ -1,6 +1,12 @@
 package engine
 
-import "sync"
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed is the Response.Err of a session submitted after Close.
+var ErrPoolClosed = errors.New("engine: pool closed")
 
 // Pool is a long-lived serving front: a fixed set of session workers
 // draining a submission channel. Use it when sessions arrive over time;
@@ -10,6 +16,12 @@ type Pool struct {
 	items chan poolItem
 	wg    sync.WaitGroup
 	once  sync.Once
+
+	// mu guards closed and, held shared around every channel send, keeps
+	// Close from closing the channel while a Submit is mid-send — the
+	// shutdown race that would otherwise panic the submitting goroutine.
+	mu     sync.RWMutex
+	closed bool
 }
 
 type poolItem struct {
@@ -36,17 +48,32 @@ func (e *Engine) NewPool(workers int) *Pool {
 }
 
 // Submit enqueues a session and returns a channel that delivers exactly one
-// Response. Submit blocks while every worker is busy; submitting to a closed
-// pool panics, mirroring sends on closed channels.
+// Response. Submit blocks while every worker is busy. Submitting to a closed
+// pool must not crash a serving front caller, so instead of the old
+// send-on-closed-channel panic the returned channel delivers an error
+// Response with Err == ErrPoolClosed.
 func (p *Pool) Submit(req Request) <-chan Response {
 	out := make(chan Response, 1)
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		out <- Response{ID: req.ID, SQL: req.SQL, Err: ErrPoolClosed}
+		return out
+	}
 	p.items <- poolItem{req: req, out: out}
+	p.mu.RUnlock()
 	return out
 }
 
 // Close stops accepting sessions and waits for the in-flight ones to finish
-// delivering. Safe to call more than once.
+// delivering. Safe to call more than once and concurrently with Submit:
+// submissions that won the race are served, later ones get ErrPoolClosed.
 func (p *Pool) Close() {
-	p.once.Do(func() { close(p.items) })
+	p.once.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		close(p.items)
+		p.mu.Unlock()
+	})
 	p.wg.Wait()
 }

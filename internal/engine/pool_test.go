@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"rankopt/internal/core"
+)
+
+// TestPoolSubmitAfterClose is the regression test for the shutdown panic:
+// Submit on a closed pool used to send on a closed channel and crash the
+// submitting goroutine. It must now deliver an ErrPoolClosed response.
+func TestPoolSubmitAfterClose(t *testing.T) {
+	eng := testEngine(t, core.Options{})
+	pool := eng.NewPool(2)
+	pool.Close()
+
+	resp := <-pool.Submit(Request{ID: "late", SQL: "SELECT * FROM T1 LIMIT 1"})
+	if !errors.Is(resp.Err, ErrPoolClosed) {
+		t.Fatalf("submit after close: err = %v, want ErrPoolClosed", resp.Err)
+	}
+	if resp.ID != "late" {
+		t.Errorf("error response lost the request ID: %q", resp.ID)
+	}
+}
+
+// TestPoolCloseSubmitRace hammers Close against concurrent Submits. Every
+// submission must resolve to exactly one response — either a served result or
+// ErrPoolClosed — with no panic and no hang.
+func TestPoolCloseSubmitRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		eng := testEngine(t, core.Options{})
+		pool := eng.NewPool(4)
+		const submitters = 8
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				reqs := testRequests(4, false)
+				for i, r := range reqs {
+					resp := <-pool.Submit(r)
+					if resp.Err != nil && !errors.Is(resp.Err, ErrPoolClosed) {
+						t.Errorf("goroutine %d req %d: unexpected error %v", g, i, resp.Err)
+					}
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			pool.Close()
+		}()
+		close(start)
+		wg.Wait()
+		pool.Close() // still idempotent after the race
+	}
+}

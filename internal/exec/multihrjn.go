@@ -71,6 +71,16 @@ func (j *MultiHRJN) Depths() []int { return append([]int(nil), j.depths...) }
 // MaxQueue returns the ranking-queue high-water mark.
 func (j *MultiHRJN) MaxQueue() int { return j.maxQueue }
 
+// gauges exposes the queue high-water mark (and, in the binary case, the two
+// input depths) to the Analyzed collector.
+func (j *MultiHRJN) gauges() analyzeGauges {
+	g := analyzeGauges{maxQueue: j.maxQueue}
+	if len(j.depths) == 2 {
+		g.leftDepth, g.rightDepth = j.depths[0], j.depths[1]
+	}
+	return g
+}
+
 // Open implements Operator.
 func (j *MultiHRJN) Open() error {
 	m := len(j.Inputs)
@@ -177,7 +187,10 @@ func (j *MultiHRJN) pull(i int) error {
 	if sv.IsNull() {
 		return nil
 	}
-	s := sv.AsFloat()
+	s, err := finiteScore(sv.AsFloat(), "MultiHRJN", "ranked")
+	if err != nil {
+		return err
+	}
 	if j.seen[i] == 0 {
 		j.tops[i] = s
 	} else if s > j.lasts[i]+scoreEps {

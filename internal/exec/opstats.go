@@ -1,0 +1,159 @@
+package exec
+
+import (
+	"time"
+
+	"rankopt/internal/relation"
+)
+
+// OpStats are the runtime counters EXPLAIN ANALYZE reports for one operator.
+// Every field is a plain scalar — no interfaces, maps, or slices — so
+// collecting them on the per-tuple path costs a handful of integer stores
+// and zero allocations. Depth, queue, heap, and pool fields are filled from
+// the wrapped operator's own gauges (see analyzeGauges) and stay zero for
+// operators without that internal state.
+type OpStats struct {
+	// Opens counts successful Open calls (re-opened operators accumulate).
+	Opens int64
+	// NextCalls counts Next invocations, including the exhausted ones.
+	NextCalls int64
+	// TuplesOut counts tuples returned by Next. For any operator the tuples
+	// a parent pulled from it equal its TuplesOut, so per-child input counts
+	// come from the children's collectors.
+	TuplesOut int64
+	// OpenNanos is the wall time spent inside Open (every call is timed:
+	// Open runs once and may do blocking work like materializing an input).
+	OpenNanos int64
+	// NextNanos is the wall time of the sampled Next calls only; SampledNexts
+	// says how many were timed. Scale by NextCalls/SampledNexts to estimate
+	// the total (see EstNextNanos).
+	NextNanos    int64
+	SampledNexts int64
+
+	// LeftDepth and RightDepth are the tuples a rank-join actually consumed
+	// from each input — the quantity the Section 4 depth model predicts.
+	LeftDepth, RightDepth int64
+	// MaxQueue is the ranking-queue high-water mark of a rank-join.
+	MaxQueue int64
+	// MaxHeap is the bounded-heap high-water mark of a TopK sort.
+	MaxHeap int64
+	// PoolHit and PoolMiss count tuple-pool free-list reuses vs fresh
+	// allocations on a rank-join's candidate path.
+	PoolHit, PoolMiss int64
+}
+
+// EstNextNanos extrapolates the total Next wall time from the sampled calls.
+func (s OpStats) EstNextNanos() int64 {
+	if s.SampledNexts == 0 {
+		return 0
+	}
+	return s.NextNanos * s.NextCalls / s.SampledNexts
+}
+
+// nextSamplePeriod is the Next-call sampling stride of the Analyzed
+// collector: one call in every nextSamplePeriod is wall-timed, keeping the
+// two time.Now reads off the common per-tuple path. Must be a power of two
+// so the sampling test is a mask, not a division.
+const nextSamplePeriod = 32
+
+// analyzeGauges are the internal high-water marks and pool counters an
+// operator hands to its Analyzed collector. Operators without such state
+// simply do not implement gaugeReporter.
+type analyzeGauges struct {
+	leftDepth, rightDepth int
+	maxQueue, maxHeap     int
+	poolHit, poolMiss     int
+}
+
+// gaugeReporter is implemented by operators with internal gauges worth
+// surfacing in EXPLAIN ANALYZE (HRJN, NRJN, MultiHRJN, TopK).
+type gaugeReporter interface {
+	gauges() analyzeGauges
+}
+
+// Analyzed wraps any operator with EXPLAIN ANALYZE collection: tuple counts
+// on every call, wall time on Open and on a 1-in-32 sample of Next calls.
+// The wrapper adds no allocation to the per-tuple path; its one map-free
+// OpStats struct lives inline. Counters accumulate across re-opens; gauges
+// reflect the wrapped operator's most recent run.
+type Analyzed struct {
+	In    Operator
+	stats OpStats
+}
+
+// Analyze wraps op with a stats collector.
+func Analyze(op Operator) *Analyzed { return &Analyzed{In: op} }
+
+// Schema implements Operator.
+func (a *Analyzed) Schema() *relation.Schema { return a.In.Schema() }
+
+// Open implements Operator. A failed Open has, per the Operator contract,
+// already closed whatever the inner operator opened, so the wrapper only
+// records and propagates.
+func (a *Analyzed) Open() error {
+	start := time.Now()
+	err := a.In.Open()
+	a.stats.OpenNanos += time.Since(start).Nanoseconds()
+	if err != nil {
+		return err
+	}
+	a.stats.Opens++
+	return nil
+}
+
+// Next implements Operator.
+func (a *Analyzed) Next() (relation.Tuple, bool, error) {
+	a.stats.NextCalls++
+	if a.stats.NextCalls&(nextSamplePeriod-1) != 0 {
+		t, ok, err := a.In.Next()
+		if ok {
+			a.stats.TuplesOut++
+		}
+		return t, ok, err
+	}
+	start := time.Now()
+	t, ok, err := a.In.Next()
+	a.stats.NextNanos += time.Since(start).Nanoseconds()
+	a.stats.SampledNexts++
+	if ok {
+		a.stats.TuplesOut++
+	}
+	return t, ok, err
+}
+
+// Close implements Operator. The inner operator's gauges are captured before
+// it releases them.
+func (a *Analyzed) Close() error {
+	a.captureGauges()
+	return a.In.Close()
+}
+
+// captureGauges copies the wrapped operator's internal gauges into the stats.
+func (a *Analyzed) captureGauges() {
+	if gr, ok := a.In.(gaugeReporter); ok {
+		g := gr.gauges()
+		a.stats.LeftDepth = int64(g.leftDepth)
+		a.stats.RightDepth = int64(g.rightDepth)
+		a.stats.MaxQueue = int64(g.maxQueue)
+		a.stats.MaxHeap = int64(g.maxHeap)
+		a.stats.PoolHit = int64(g.poolHit)
+		a.stats.PoolMiss = int64(g.poolMiss)
+	}
+}
+
+// ExecStats returns the collected counters (gauges refreshed from the inner
+// operator, so it is valid both mid-run and after Close).
+func (a *Analyzed) ExecStats() OpStats {
+	a.captureGauges()
+	return a.stats
+}
+
+// Stats forwards the inner operator's rank-join stats so StatsReporter
+// consumers (the engine's measured-vs-estimated depth report) see through
+// the collector.
+func (a *Analyzed) Stats() RankJoinStats {
+	if sr, ok := a.In.(StatsReporter); ok {
+		return sr.Stats()
+	}
+	return RankJoinStats{}
+}

@@ -12,6 +12,28 @@ import (
 // against the threshold.
 const scoreEps = 1e-9
 
+// finiteScore rejects NaN scores and clamps infinite ones to the finite
+// float range at the rank-join input boundary. The threshold arithmetic adds
+// terms from opposite inputs (e.g. topL+lastR): with topL=+Inf and
+// lastR=-Inf the bound becomes NaN, every `pq[0].score >= threshold-eps`
+// comparison turns false, and early termination is silently disabled — the
+// join degrades to a full drain. Clamping ±Inf to ±MaxFloat64 preserves the
+// score ordering (no finite score exceeds it) while keeping every
+// threshold sum finite; a NaN score has no position in a ranking at all, so
+// it fails loudly like a sort-contract violation.
+func finiteScore(s float64, op, input string) (float64, error) {
+	if math.IsNaN(s) {
+		return 0, fmt.Errorf("exec: %s %s input produced NaN score", op, input)
+	}
+	if math.IsInf(s, 1) {
+		return math.MaxFloat64, nil
+	}
+	if math.IsInf(s, -1) {
+		return -math.MaxFloat64, nil
+	}
+	return s, nil
+}
+
 // PullStrategy selects which input an HRJN polls next.
 type PullStrategy uint8
 
@@ -185,6 +207,15 @@ func (j *HRJN) Schema() *relation.Schema { return j.schema }
 // Stats returns the measured depths and buffer high-water mark.
 func (j *HRJN) Stats() RankJoinStats { return j.stats }
 
+// gauges exposes the internal high-water marks to the Analyzed collector.
+func (j *HRJN) gauges() analyzeGauges {
+	return analyzeGauges{
+		leftDepth: j.stats.LeftDepth, rightDepth: j.stats.RightDepth,
+		maxQueue: j.stats.MaxQueue,
+		poolHit:  j.outPool.hit, poolMiss: j.outPool.miss,
+	}
+}
+
 // Open implements Operator.
 func (j *HRJN) Open() error {
 	if err := j.Left.Open(); err != nil {
@@ -292,7 +323,14 @@ func (j *HRJN) pull(left bool) error {
 		// NULL scores cannot participate in ranking; drop the tuple.
 		return nil
 	}
-	sc := s.AsFloat()
+	side := "right"
+	if left {
+		side = "left"
+	}
+	sc, err := finiteScore(s.AsFloat(), "HRJN", side)
+	if err != nil {
+		return err
+	}
 	var k relation.Value
 	if left {
 		k, err = j.lKey(t)
@@ -474,6 +512,15 @@ func (j *NRJN) Schema() *relation.Schema { return j.schema }
 // inner fully).
 func (j *NRJN) Stats() RankJoinStats { return j.stats }
 
+// gauges exposes the internal high-water marks to the Analyzed collector.
+func (j *NRJN) gauges() analyzeGauges {
+	return analyzeGauges{
+		leftDepth: j.stats.LeftDepth, rightDepth: j.stats.RightDepth,
+		maxQueue: j.stats.MaxQueue,
+		poolHit:  j.outPool.hit, poolMiss: j.outPool.miss,
+	}
+}
+
 // Open implements Operator: materializes and scores the inner input.
 func (j *NRJN) Open() error {
 	if err := j.Left.Open(); err != nil {
@@ -521,7 +568,10 @@ func (j *NRJN) load() error {
 			// they count toward RightDepth below.
 			continue
 		}
-		s := v.AsFloat()
+		s, err := finiteScore(v.AsFloat(), "NRJN", "inner")
+		if err != nil {
+			return err
+		}
 		j.inner = append(j.inner, scored{t, s})
 		if s > j.innerMax {
 			j.innerMax = s
@@ -581,7 +631,10 @@ func (j *NRJN) Next() (relation.Tuple, bool, error) {
 		if v.IsNull() {
 			continue
 		}
-		s := v.AsFloat()
+		s, err := finiteScore(v.AsFloat(), "NRJN", "outer")
+		if err != nil {
+			return nil, false, err
+		}
 		if j.lSeen > 0 && s > j.lastL+scoreEps {
 			return nil, false, fmt.Errorf("exec: NRJN outer input violated descending-score contract (%v after %v)", s, j.lastL)
 		}

@@ -18,9 +18,13 @@ type TopK struct {
 	Score expr.Expr
 	K     int
 
-	out []relation.Tuple
-	pos int
+	out     []relation.Tuple
+	pos     int
+	maxHeap int
 }
+
+// gauges exposes the bounded-heap high-water mark to the Analyzed collector.
+func (t *TopK) gauges() analyzeGauges { return analyzeGauges{maxHeap: t.maxHeap} }
 
 // NewTopK constructs the operator.
 func NewTopK(in Operator, score expr.Expr, k int) *TopK {
@@ -134,6 +138,7 @@ func (t *TopK) load() error {
 		}
 		seq++
 	}
+	t.maxHeap = len(h)
 	items := append(topKHeap(nil), h...)
 	sort.Slice(items, func(a, b int) bool {
 		if items[a].score != items[b].score {

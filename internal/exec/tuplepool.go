@@ -15,12 +15,16 @@ import "rankopt/internal/relation"
 type tuplePool struct {
 	width int
 	free  []relation.Tuple
+	// hit and miss count free-list reuses vs fresh allocations; EXPLAIN
+	// ANALYZE surfaces them as the pool's effectiveness gauge.
+	hit, miss int
 }
 
 // reset prepares the pool for a tuple width (called from Open).
 func (p *tuplePool) reset(width int) {
 	p.width = width
 	p.free = p.free[:0]
+	p.hit, p.miss = 0, 0
 }
 
 // get returns an empty tuple with capacity for one output row.
@@ -29,8 +33,10 @@ func (p *tuplePool) get() relation.Tuple {
 		t := p.free[n-1]
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
+		p.hit++
 		return t[:0]
 	}
+	p.miss++
 	return make(relation.Tuple, 0, p.width)
 }
 
@@ -49,11 +55,15 @@ func (p *tuplePool) concat(l, r relation.Tuple) relation.Tuple {
 }
 
 // sizeHint clamps an optimizer estimate into a sane pre-allocation bound:
-// negative and zero hints mean "unknown" and huge hints (from degenerate
-// estimates) must not commit memory up front.
+// negative, zero, and NaN hints mean "unknown" and huge hints (from
+// degenerate estimates, including +Inf) must not commit memory up front.
+// The first guard is written !(est > 0) rather than est <= 0 because NaN
+// compares false to everything: est <= 0 would pass NaN through to the
+// second guard (also false) and into int(NaN), whose result is
+// platform-undefined.
 func sizeHint(est float64) int {
 	const maxHint = 1 << 16
-	if est <= 0 {
+	if !(est > 0) {
 		return 0
 	}
 	if est > maxHint {

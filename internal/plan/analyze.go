@@ -1,0 +1,136 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"rankopt/internal/catalog"
+	"rankopt/internal/exec"
+)
+
+// AnalyzedPlan maps the nodes of one compiled plan to their runtime stats
+// collectors. It is produced by CompileAnalyzed and consumed by
+// FormatAnalyze after execution; like the operator tree it belongs to a
+// single session.
+type AnalyzedPlan struct {
+	ops map[*Node]*exec.Analyzed
+}
+
+// Stats returns the runtime counters collected for plan node n.
+func (ap *AnalyzedPlan) Stats(n *Node) (exec.OpStats, bool) {
+	a := ap.Collector(n)
+	if a == nil {
+		return exec.OpStats{}, false
+	}
+	return a.ExecStats(), true
+}
+
+// Collector returns node n's stats collector (nil when n was not compiled by
+// this plan). The collector forwards exec.StatsReporter, so rank-join
+// consumers can use it wherever they used the bare operator.
+func (ap *AnalyzedPlan) Collector(n *Node) *exec.Analyzed {
+	if ap == nil {
+		return nil
+	}
+	return ap.ops[n]
+}
+
+// CompileAnalyzed lowers the plan like Compile but threads an exec.Analyzed
+// stats collector between every pair of operators, returning the wrapped
+// root and the node→collector mapping. The per-tuple overhead is one counter
+// increment per operator boundary plus a 1-in-32 wall-time sample; the
+// per-query overhead is one small wrapper allocation per plan node.
+func CompileAnalyzed(cat *catalog.Catalog, n *Node) (exec.Operator, *AnalyzedPlan, error) {
+	ap := &AnalyzedPlan{ops: map[*Node]*exec.Analyzed{}}
+	c := &compiler{cat: cat, wrap: func(n *Node, op exec.Operator) exec.Operator {
+		a := exec.Analyze(op)
+		ap.ops[n] = a
+		return a
+	}}
+	root, err := c.compile(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return root, ap, nil
+}
+
+// effectiveK extracts the top-k bound the plan executes under: the topmost
+// k-bearing operator's K, falling back to the root cardinality for
+// unbounded plans (mirroring Template.Instantiate).
+func effectiveK(root *Node) float64 {
+	k := 0
+	root.Walk(func(n *Node) {
+		if k == 0 && n.K > 0 && (n.Op == OpLimit || n.Op == OpTopK || n.Op == OpRankAgg) {
+			k = n.K
+		}
+	})
+	if k > 0 {
+		return float64(k)
+	}
+	return root.Card
+}
+
+// FormatAnalyze renders the EXPLAIN ANALYZE tree: the plan in Explain's
+// indented shape with an estimated-vs-actual row count (the estimate is the
+// depth model's propagated demand at the query's k, which is what the
+// executor was expected to pull, not the full-output cardinality) and, on
+// rank-join nodes, the Section 4 depth estimates against the depths actually
+// reached, with relative errors. withTimes adds the sampled Open/Next wall
+// times — keep it off when output must be byte-stable (golden tests).
+func FormatAnalyze(root *Node, ap *AnalyzedPlan, withTimes bool) string {
+	effK := effectiveK(root)
+	// est holds the propagated expected pull count per node (Algorithm
+	// Propagate): for rank-join children that is the estimated depth, for
+	// blocking children the full input.
+	est := map[*Node]float64{}
+	PropagateK(root, effK, func(n *Node, k float64) {
+		est[n] = math.Min(k, n.Card)
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "EXPLAIN ANALYZE (k=%.0f)\n", effK)
+	formatAnalyze(&b, root, 0, ap, est, withTimes)
+	return b.String()
+}
+
+func formatAnalyze(b *strings.Builder, n *Node, depth int, ap *AnalyzedPlan, est map[*Node]float64, withTimes bool) {
+	indent := strings.Repeat("  ", depth)
+	st, ok := ap.Stats(n)
+	if !ok {
+		fmt.Fprintf(b, "%s%s%s  (rows est=%.0f act=?)\n", indent, n.Op, detail(n), est[n])
+	} else {
+		fmt.Fprintf(b, "%s%s%s  (rows est=%.0f act=%d err=%s)",
+			indent, n.Op, detail(n), est[n], st.TuplesOut, relErrPct(est[n], st.TuplesOut))
+		if withTimes {
+			fmt.Fprintf(b, " (open=%s next≈%s)",
+				time.Duration(st.OpenNanos).Round(time.Microsecond),
+				time.Duration(st.EstNextNanos()).Round(time.Microsecond))
+		}
+		b.WriteByte('\n')
+		if n.Op.IsRankJoin() {
+			fmt.Fprintf(b, "%s  depths: dL est=%.0f act=%d err=%s | dR est=%.0f act=%d err=%s | queue hwm=%d | pool hit=%d miss=%d\n",
+				indent,
+				n.EstDL, st.LeftDepth, relErrPct(n.EstDL, st.LeftDepth),
+				n.EstDR, st.RightDepth, relErrPct(n.EstDR, st.RightDepth),
+				st.MaxQueue, st.PoolHit, st.PoolMiss)
+		}
+		if n.Op == OpTopK {
+			fmt.Fprintf(b, "%s  heap hwm=%d\n", indent, st.MaxHeap)
+		}
+	}
+	for _, c := range n.Children {
+		formatAnalyze(b, c, depth+1, ap, est, withTimes)
+	}
+}
+
+// relErrPct renders |est-act|/max(act,1) as a percentage — the depth model's
+// accuracy metric (the paper's Section 6 reports it under 30% on its
+// workloads).
+func relErrPct(estV float64, act int64) string {
+	denom := float64(act)
+	if denom < 1 {
+		denom = 1
+	}
+	return fmt.Sprintf("%.1f%%", math.Abs(estV-float64(act))/denom*100)
+}

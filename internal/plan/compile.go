@@ -26,12 +26,19 @@ func CompileTraced(cat *catalog.Catalog, n *Node, trace func(*Node, exec.Operato
 type compiler struct {
 	cat   *catalog.Catalog
 	trace func(*Node, exec.Operator)
+	// wrap, when set, replaces every built operator before it is wired into
+	// its parent — the EXPLAIN ANALYZE hook that threads a stats collector
+	// between each pair of operators.
+	wrap func(*Node, exec.Operator) exec.Operator
 }
 
 func (c *compiler) compile(n *Node) (exec.Operator, error) {
 	op, err := c.build(n)
 	if err != nil {
 		return nil, err
+	}
+	if c.wrap != nil {
+		op = c.wrap(n, op)
 	}
 	if c.trace != nil {
 		c.trace(n, op)
