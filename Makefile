@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench throughput plancache ci
+.PHONY: all fmt vet build test race bench throughput plancache oracle fuzz cancel ci
 
 all: ci
 
@@ -31,4 +31,18 @@ throughput: build
 plancache: build
 	$(GO) run ./cmd/raqo-bench -plancache -out BENCH_plancache.json
 
+# Differential oracle, full 200-seed corpus (CI runs the -quick subset).
+oracle:
+	$(GO) test ./internal/oracle
+
+# Short native-fuzz budget per sqlparse target.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=15s ./internal/sqlparse
+	$(GO) test -run=NONE -fuzz=FuzzFingerprint -fuzztime=15s ./internal/sqlparse
+
+# Cancellation-under-load latency bench; emits BENCH_cancel.json.
+cancel: build
+	$(GO) run ./cmd/raqo-bench -cancel -out BENCH_cancel.json
+
 ci: fmt vet build race
+	$(GO) test ./internal/oracle -quick

@@ -15,6 +15,10 @@
 //	                           # executed rank-join depths), written to
 //	                           # BENCH_analyze.json; exits nonzero when the
 //	                           # mean relative error exceeds -maxerr
+//	raqo-bench -cancel         # cancellation-under-load latency benchmark
+//	                           # (p50/p99 cancel-to-return), written to
+//	                           # BENCH_cancel.json; exits nonzero when any
+//	                           # session returns a mistyped error
 //
 // The -concurrency mode runs a fixed batch of top-k sessions over one shared
 // catalog at each worker count (-workers, default 1,2,4,8), prints the
@@ -46,11 +50,12 @@ func main() {
 		concurrency = flag.Bool("concurrency", false, "run the concurrent-session throughput sweep")
 		plancache   = flag.Bool("plancache", false, "run the plan-cache cold/warm sweep")
 		analyze     = flag.Bool("analyze", false, "run the depth-model accuracy sweep")
+		cancelBench = flag.Bool("cancel", false, "run the cancellation-under-load latency benchmark")
 		maxErr      = flag.Float64("maxerr", 3.0, "fail when the sweep's mean relative depth error exceeds this (-analyze)")
 		out         = flag.String("out", "", "artifact path (defaults per mode)")
 		rows        = flag.Int("rows", 0, "override rows per table (sweep modes)")
 		queries     = flag.Int("queries", 0, "override sessions per point (sweep modes)")
-		workers     = flag.String("workers", "", "override comma-separated worker counts (sweep modes)")
+		workers     = flag.String("workers", "", "override comma-separated worker counts (sweeps) or one lane count (-cancel)")
 		optWorkers  = flag.Int("opt-workers", 0, "optimizer DP workers per session (-concurrency)")
 	)
 	flag.Parse()
@@ -83,6 +88,17 @@ func main() {
 			path = "BENCH_analyze.json"
 		}
 		if err := runAnalyze(path, *rows, *maxErr); err != nil {
+			fmt.Fprintln(os.Stderr, "raqo-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *cancelBench {
+		path := *out
+		if path == "" {
+			path = "BENCH_cancel.json"
+		}
+		if err := runCancel(path, *rows, *queries, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "raqo-bench:", err)
 			os.Exit(1)
 		}
@@ -177,6 +193,37 @@ func runAnalyze(out string, rows int, maxErr float64) error {
 	}
 	fmt.Printf("wrote %s\n", out)
 	return rep.CheckBound(maxErr)
+}
+
+func runCancel(out string, rows, sessions int, workers string) error {
+	cfg := bench.DefaultCancelConfig()
+	if rows > 0 {
+		cfg.Rows = rows
+	}
+	if sessions > 0 {
+		cfg.Sessions = sessions
+	}
+	if workers != "" {
+		n, err := strconv.Atoi(strings.TrimSpace(workers))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -workers value %q (cancel mode takes one count)", workers)
+		}
+		cfg.Workers = n
+	}
+	rep, err := bench.Cancel(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Table())
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return rep.CheckTyped()
 }
 
 func runPlanCache(out string, rows, queries int, workers string) error {

@@ -19,6 +19,12 @@
 // (estimated vs actual cardinalities and rank-join depths, per-operator
 // times). The -metrics flag additionally serves /metrics (Prometheus text)
 // and /debug/engine (JSON) over HTTP on the given address.
+//
+// Queries can be bounded: -timeout sets a per-query deadline, and the REPL's
+// `\set limits buffer=N depth=N timeout=DUR` caps buffered tuples, rank-join
+// input depths, and wall-clock per session (`\set limits off` clears them).
+// Exceeding a bound aborts just that query with a typed error; the engine
+// stays usable.
 package main
 
 import (
@@ -28,11 +34,14 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"rankopt/internal/catalog"
 	"rankopt/internal/core"
 	"rankopt/internal/engine"
+	"rankopt/internal/exec"
 	"rankopt/internal/plan"
 	"rankopt/internal/workload"
 )
@@ -51,6 +60,7 @@ func main() {
 		noCache     = flag.Bool("nocache", false, "disable the plan cache")
 		analyze     = flag.Bool("analyze", false, "execute with EXPLAIN ANALYZE instrumentation")
 		metricsAddr = flag.String("metrics", "", "serve /metrics and /debug/engine over HTTP on this address (e.g. :8080)")
+		timeout     = flag.Duration("timeout", 0, "per-query deadline, e.g. 500ms (0 = none)")
 	)
 	flag.Parse()
 
@@ -77,8 +87,15 @@ func main() {
 			}
 		}()
 	}
+	// limits and qTimeout are session state the REPL's `\set limits` command
+	// mutates; the -timeout flag seeds the deadline for one-shot runs too.
+	limits := exec.ResourceLimits{}
+	qTimeout := *timeout
 	run := func(sql string, analyzed bool) {
-		opts := queryOpts{Explain: *explainOnly, Analyze: analyzed, MaxRows: *maxRows, Stats: *stats}
+		opts := queryOpts{
+			Explain: *explainOnly, Analyze: analyzed, MaxRows: *maxRows, Stats: *stats,
+			Timeout: qTimeout, Limits: limits,
+		}
 		if err := runQuery(os.Stdout, eng, sql, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
@@ -100,6 +117,13 @@ func main() {
 			printMetrics(os.Stdout, eng)
 		case strings.HasPrefix(line, `\analyze `):
 			run(strings.TrimSpace(strings.TrimPrefix(line, `\analyze `)), true)
+		case strings.HasPrefix(line, `\set limits`):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, `\set limits`))
+			if err := parseLimits(arg, &limits, &qTimeout); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			} else {
+				printLimits(os.Stdout, limits, qTimeout)
+			}
 		default:
 			run(line, *analyze)
 		}
@@ -125,10 +149,73 @@ func printMetrics(w io.Writer, eng *engine.Engine) {
 	m := eng.Snapshot()
 	fmt.Fprintf(w, "sessions: queries=%d errors=%d analyzed=%d tuples=%d\n",
 		m.Queries, m.Errors, m.Analyzed, m.TuplesReturned)
+	fmt.Fprintf(w, "aborted: cancelled=%d deadline=%d over-budget=%d admission-timeout=%d (waiting=%d in-flight=%d)\n",
+		m.QueriesCancelled, m.QueriesDeadlined, m.QueriesOverBudget,
+		m.AdmissionTimeouts, m.AdmissionWaiting, m.InFlight)
 	fmt.Fprintf(w, "latency: avg=%.3fms p50=%.3fms p99=%.3fms\n",
 		m.AvgLatencyMillis, m.P50LatencyMillis, m.P99LatencyMillis)
 	fmt.Fprintf(w, "plan cache: hits=%d misses=%d invalidations=%d entries=%d\n",
 		m.CacheHits, m.CacheMisses, m.CacheInvalidations, m.CacheEntries)
+}
+
+// parseLimits applies a `\set limits` argument string to the session state.
+// Syntax: space-separated key=value pairs among buffer=N (max buffered
+// tuples), depth=N (max rank-join depth per input), timeout=DUR (per-query
+// deadline, Go duration syntax); the single word "off" clears everything.
+func parseLimits(arg string, limits *exec.ResourceLimits, qTimeout *time.Duration) error {
+	if arg == "off" {
+		*limits = exec.ResourceLimits{}
+		*qTimeout = 0
+		return nil
+	}
+	if arg == "" {
+		return nil // just print the current settings
+	}
+	for _, kv := range strings.Fields(arg) {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf(`\set limits: want key=value pairs (buffer=N depth=N timeout=DUR) or "off", got %q`, kv)
+		}
+		switch key {
+		case "buffer":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return fmt.Errorf(`\set limits: bad buffer %q`, val)
+			}
+			limits.MaxBufferedTuples = n
+		case "depth":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return fmt.Errorf(`\set limits: bad depth %q`, val)
+			}
+			limits.MaxDepthPerInput = n
+		case "timeout":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return fmt.Errorf(`\set limits: bad timeout %q`, val)
+			}
+			*qTimeout = d
+		default:
+			return fmt.Errorf(`\set limits: unknown key %q (want buffer, depth, or timeout)`, key)
+		}
+	}
+	return nil
+}
+
+// printLimits reports the active session limits.
+func printLimits(w io.Writer, limits exec.ResourceLimits, qTimeout time.Duration) {
+	render := func(n int64) string {
+		if n == 0 {
+			return "off"
+		}
+		return strconv.FormatInt(n, 10)
+	}
+	to := "off"
+	if qTimeout > 0 {
+		to = qTimeout.String()
+	}
+	fmt.Fprintf(w, "limits: buffer=%s depth=%s timeout=%s\n",
+		render(limits.MaxBufferedTuples), render(limits.MaxDepthPerInput), to)
 }
 
 // queryOpts selects what runQuery renders beyond the result rows.
@@ -139,13 +226,21 @@ type queryOpts struct {
 	MaxRows          int
 	// Stats appends the measured-vs-estimated rank-join depth report.
 	Stats bool
+	// Timeout bounds the session wall-clock (0 = none); Limits caps its
+	// buffered tuples and rank-join depths.
+	Timeout time.Duration
+	Limits  exec.ResourceLimits
 }
 
 // runQuery sends one statement through the shared engine and renders the
 // response: plan (annotated with runtime stats under Analyze), optional depth
 // stats, and result rows.
 func runQuery(w io.Writer, eng *engine.Engine, sql string, o queryOpts) error {
-	resp := eng.Run(engine.Request{SQL: sql, ExplainOnly: o.Explain, Analyze: o.Analyze})
+	req := engine.Request{SQL: sql, ExplainOnly: o.Explain, Analyze: o.Analyze, Limits: o.Limits}
+	if o.Timeout > 0 {
+		req.Deadline = time.Now().Add(o.Timeout)
+	}
+	resp := eng.Run(req)
 	if resp.Err != nil {
 		return resp.Err
 	}

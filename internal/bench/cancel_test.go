@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// TestCancelBench runs a shrunk cancellation-under-load configuration and
+// checks the report invariants: every session must come back with the typed
+// cancellation error and the latency quantiles must be ordered.
+func TestCancelBench(t *testing.T) {
+	cfg := DefaultCancelConfig()
+	cfg.Sessions = 4
+	cfg.Workers = 2
+	rep, err := Cancel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CheckTyped(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != cfg.Sessions {
+		t.Fatalf("sessions: got %d want %d", rep.Sessions, cfg.Sessions)
+	}
+	if rep.P50Millis < 0 || rep.P50Millis > rep.P99Millis || rep.P99Millis > rep.MaxMillis {
+		t.Fatalf("quantiles out of order: p50=%v p99=%v max=%v",
+			rep.P50Millis, rep.P99Millis, rep.MaxMillis)
+	}
+	if _, err := rep.JSON(); err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if rep.Table() == nil {
+		t.Fatal("Table returned nil")
+	}
+}
+
+// TestCancelBenchRejectsBadConfig covers the argument guard.
+func TestCancelBenchRejectsBadConfig(t *testing.T) {
+	cfg := DefaultCancelConfig()
+	cfg.Sessions = 0
+	if _, err := Cancel(cfg); err == nil {
+		t.Fatal("want error for zero sessions")
+	}
+}

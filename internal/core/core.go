@@ -51,6 +51,11 @@ type Options struct {
 	// rank-join plans (off by default to stay faithful to the paper's sort
 	// plans; an ablation experiment measures the difference).
 	UseTopKSort bool
+	// CollectAllPlans returns every completed full-query alternative in
+	// Result.AllPlans (each with the shared Rank/Limit/Project tail), the
+	// input to the differential-testing oracle. Combine with KeepAllPlans to
+	// exercise plans pruning would normally discard.
+	CollectAllPlans bool
 	// Strategy is the HRJN polling policy for compiled plans.
 	Strategy exec.PullStrategy
 	// Params overrides the cost-model parameters (nil means defaults).
@@ -69,6 +74,10 @@ type Result struct {
 	Best *plan.Node
 	// BestJoin is the underlying join plan before final assembly.
 	BestJoin *plan.Node
+	// AllPlans holds every completed full-query alternative (only when
+	// Options.CollectAllPlans is set). Each is executable via plan.Compile
+	// and must produce the same top-k answer as Best.
+	AllPlans []*plan.Node
 	// Memo maps entry labels (e.g. "A,B") to the retained plans, mirroring
 	// the paper's Figures 2 and 3.
 	Memo map[string][]*plan.Node
@@ -150,13 +159,14 @@ func Optimize(cat *catalog.Catalog, q *logical.Query, opts Options) (*Result, er
 	o.joins = o.equiv.closure(q.Joins)
 	o.enumerateBase()
 	o.enumerateJoins()
-	best, bestJoin, err := o.finish()
+	best, bestJoin, all, err := o.finish()
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
 		Best:              best,
 		BestJoin:          bestJoin,
+		AllPlans:          all,
 		Memo:              map[string][]*plan.Node{},
 		PlansGenerated:    o.gen,
 		InterestingOrders: o.interestingOrders(),

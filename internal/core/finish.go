@@ -13,11 +13,14 @@ import (
 // finish selects the final plan: every surviving full-expression plan is
 // completed (gluing a sort enforcer when it lacks the required output
 // order), costs are compared at the query's k, and the winner is wrapped
-// with rank annotation, limit, and projection as the query demands.
-func (o *optimizer) finish() (best, bestJoin *plan.Node, err error) {
+// with rank annotation, limit, and projection as the query demands. With
+// Options.CollectAllPlans set, every completed-and-assembled alternative is
+// returned in all — the differential-testing oracle executes each one and
+// asserts identical results.
+func (o *optimizer) finish() (best, bestJoin *plan.Node, all []*plan.Node, err error) {
 	plans := o.memo[o.fullMask()]
 	if len(plans) == 0 {
-		return nil, nil, fmt.Errorf("core: no plan found for %s", o.label(o.fullMask()))
+		return nil, nil, nil, fmt.Errorf("core: no plan found for %s", o.label(o.fullMask()))
 	}
 
 	var required plan.OrderProp
@@ -41,6 +44,7 @@ func (o *optimizer) finish() (best, bestJoin *plan.Node, err error) {
 	}
 
 	bestCost := math.Inf(1)
+	var finishedAll []*plan.Node
 	for _, p := range plans {
 		finished := p
 		if !p.Props.Order.Covers(required) {
@@ -58,6 +62,9 @@ func (o *optimizer) finish() (best, bestJoin *plan.Node, err error) {
 				finished = o.sortWrap(p, finalKeys, required)
 			}
 		}
+		if o.opts.CollectAllPlans {
+			finishedAll = append(finishedAll, finished)
+		}
 		kEval := finished.Card
 		if o.q.K > 0 {
 			kEval = float64(o.q.K)
@@ -73,10 +80,31 @@ func (o *optimizer) finish() (best, bestJoin *plan.Node, err error) {
 	if o.q.Grouped() {
 		agg, err := o.bestAggregation(plans)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		cur, bestJoin = agg, agg
+		// Grouped queries collapse alternatives inside bestAggregation; the
+		// oracle set is just the chosen plan.
+		finishedAll = nil
 	}
+	best = o.assembleFinal(cur)
+	if o.opts.CollectAllPlans {
+		if len(finishedAll) == 0 {
+			all = []*plan.Node{best}
+		} else {
+			all = make([]*plan.Node, len(finishedAll))
+			for i, f := range finishedAll {
+				all[i] = o.assembleFinal(f)
+			}
+		}
+	}
+	return best, bestJoin, all, nil
+}
+
+// assembleFinal wraps a completed (ordered) plan with the rank annotation,
+// limit, and projection the query demands — the tail every alternative
+// shares, so oracle plans differ only below it.
+func (o *optimizer) assembleFinal(cur *plan.Node) *plan.Node {
 	if o.q.Ranking() {
 		cur = &plan.Node{
 			Op:       plan.OpRank,
@@ -111,7 +139,7 @@ func (o *optimizer) finish() (best, bestJoin *plan.Node, err error) {
 			Props:    cur.Props,
 		}
 	}
-	return cur, bestJoin, nil
+	return cur
 }
 
 // topKSelectionPlan recognizes the paper's "top-k selection" query class —

@@ -1,0 +1,81 @@
+package engine
+
+// Admission control bounds the sessions executing simultaneously. The
+// mechanism is a buffered-channel semaphore: cheap when a slot is free (one
+// non-blocking channel send), and a timed select against the session's
+// context when the engine is saturated. Because RunCtx applies the query
+// deadline to the context BEFORE admission, a queued session expires on the
+// same clock as a running one — waiting in line is not free time.
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"rankopt/internal/exec"
+)
+
+// ErrAdmissionTimeout reports that a session waited longer than the engine's
+// Config.AdmissionTimeout for an execution slot.
+var ErrAdmissionTimeout = errors.New("engine: admission queue timeout")
+
+// admission is the engine's in-flight session bound.
+type admission struct {
+	slots   chan struct{}
+	timeout time.Duration
+}
+
+func newAdmission(max int, timeout time.Duration) *admission {
+	return &admission{slots: make(chan struct{}, max), timeout: timeout}
+}
+
+// acquire blocks until a slot frees, the context dies, or the admission
+// timeout elapses — in that priority order on the fast path.
+func (a *admission) acquire(ctx context.Context) error {
+	// Fast path: a free slot costs one non-blocking send.
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if err := exec.CtxErr(ctx); err != nil {
+		return err
+	}
+	if a.timeout <= 0 {
+		select {
+		case a.slots <- struct{}{}:
+			return nil
+		case <-ctx.Done():
+			return exec.CtxErr(ctx)
+		}
+	}
+	t := time.NewTimer(a.timeout)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return exec.CtxErr(ctx)
+	case <-t.C:
+		return ErrAdmissionTimeout
+	}
+}
+
+// release frees the session's slot; nil-safe so the unbounded engine calls
+// it unconditionally.
+func (a *admission) release() {
+	if a == nil {
+		return
+	}
+	<-a.slots
+}
+
+// inFlight reports the sessions currently holding slots. (Queue depth —
+// sessions waiting for a slot — is tracked by metrics.admissionWaiting; the
+// channel alone cannot distinguish waiters from free capacity.)
+func (a *admission) inFlight() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.slots)
+}

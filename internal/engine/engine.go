@@ -24,6 +24,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -47,6 +48,11 @@ type Engine struct {
 	cache *planCache
 	// met aggregates every session into engine-wide counters (see metrics.go).
 	met metrics
+	// adm bounds in-flight sessions; nil when admission control is off.
+	adm *admission
+	// defLimits are the per-session resource limits applied when a request
+	// carries none of its own.
+	defLimits exec.ResourceLimits
 }
 
 // Config controls engine construction beyond the per-session optimizer
@@ -58,6 +64,17 @@ type Config struct {
 	// full parse+optimize pipeline. Useful for cold-path benchmarks and for
 	// cached-vs-uncached identity tests.
 	DisablePlanCache bool
+	// MaxConcurrent bounds the sessions executing simultaneously; further
+	// submissions wait in an admission queue. 0 means unbounded (no
+	// admission control and no queueing overhead).
+	MaxConcurrent int
+	// AdmissionTimeout bounds how long a session may wait for an execution
+	// slot before failing with ErrAdmissionTimeout. 0 waits indefinitely
+	// (until the query's own deadline, if any). Ignored when MaxConcurrent
+	// is 0.
+	AdmissionTimeout time.Duration
+	// DefaultLimits apply to every request that does not set Request.Limits.
+	DefaultLimits exec.ResourceLimits
 }
 
 // New constructs an engine over a loaded catalog with the plan cache
@@ -69,9 +86,12 @@ func New(cat *catalog.Catalog, opts core.Options) *Engine {
 
 // NewWithConfig constructs an engine with explicit configuration.
 func NewWithConfig(cat *catalog.Catalog, cfg Config) *Engine {
-	e := &Engine{cat: cat, opts: cfg.Options}
+	e := &Engine{cat: cat, opts: cfg.Options, defLimits: cfg.DefaultLimits}
 	if !cfg.DisablePlanCache {
 		e.cache = newPlanCache()
+	}
+	if cfg.MaxConcurrent > 0 {
+		e.adm = newAdmission(cfg.MaxConcurrent, cfg.AdmissionTimeout)
 	}
 	return e
 }
@@ -99,6 +119,15 @@ type Request struct {
 	// every plan node to its measured tuple counts, depths, and sampled wall
 	// times, renderable with plan.FormatAnalyze.
 	Analyze bool
+	// Deadline, when non-zero, bounds the session's total wall time —
+	// admission wait included, so a query queued behind slow traffic times
+	// out exactly when a running one would. Expiry surfaces as
+	// exec.ErrDeadlineExceeded.
+	Deadline time.Time
+	// Limits are the session's resource limits (deadline, buffered-tuple
+	// budget, per-input depth cap). The zero value applies the engine's
+	// Config.DefaultLimits; a non-zero value replaces them entirely.
+	Limits exec.ResourceLimits
 }
 
 // RankJoinStat pairs one rank-join operator of the executed plan with its
@@ -219,19 +248,61 @@ func (e *Engine) optimize(sql string) (tmpl *plan.Template, gen, kept, qk int, e
 // input: all failures surface in Response.Err. Every session — successful,
 // failed, or explain-only — is folded into the engine-wide metrics.
 func (e *Engine) Run(req Request) Response {
-	resp := e.run(req)
+	return e.RunCtx(context.Background(), req)
+}
+
+// RunCtx executes one complete query session under the caller's context:
+// cancelling ctx aborts the session mid-execution with the whole operator
+// tree closed and exec.ErrQueryCancelled in Response.Err. The request's
+// deadline (and the limits' deadline) tightens ctx BEFORE admission, so a
+// session queued behind slow traffic expires exactly when a running one
+// would.
+func (e *Engine) RunCtx(ctx context.Context, req Request) Response {
+	limits := req.Limits
+	if !limits.Enabled() {
+		limits = e.defLimits
+	}
+	if !req.Deadline.IsZero() && (limits.Deadline.IsZero() || req.Deadline.Before(limits.Deadline)) {
+		limits.Deadline = req.Deadline
+	}
+	if !limits.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, limits.Deadline)
+		defer cancel()
+	}
+	start := time.Now()
+	var resp Response
+	if err := e.admit(ctx); err != nil {
+		resp = Response{ID: req.ID, SQL: req.SQL, Err: err, Elapsed: time.Since(start)}
+	} else {
+		resp = e.run(ctx, req, limits)
+		e.adm.release()
+	}
 	e.met.observe(&resp, req.Analyze)
 	return resp
 }
 
-// run is the session pipeline behind Run.
-func (e *Engine) run(req Request) Response {
+// admit waits for an execution slot (a no-op when admission control is off).
+func (e *Engine) admit(ctx context.Context) error {
+	if e.adm == nil {
+		return exec.CtxErr(ctx)
+	}
+	e.met.admissionWaiting.Add(1)
+	defer e.met.admissionWaiting.Add(-1)
+	return e.adm.acquire(ctx)
+}
+
+// run is the session pipeline behind RunCtx.
+func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimits) Response {
 	start := time.Now()
 	resp := Response{ID: req.ID, SQL: req.SQL}
 	fail := func(err error) Response {
 		resp.Err = err
 		resp.Elapsed = time.Since(start)
 		return resp
+	}
+	if err := exec.CtxErr(ctx); err != nil {
+		return fail(err)
 	}
 	root, hit, gen, kept, err := e.planFor(req.SQL)
 	if err != nil {
@@ -251,11 +322,12 @@ func (e *Engine) run(req Request) Response {
 	}
 	var joins []tracedJoin
 	var op exec.Operator
+	budget := exec.NewBudget(limits)
 	if req.Analyze {
 		// Analyze sessions thread a stats collector between every operator;
 		// the wrappers forward StatsReporter, so the rank-join depth report
 		// below works identically in both modes.
-		op, resp.Analysis, err = plan.CompileAnalyzed(e.cat, root)
+		op, resp.Analysis, err = plan.CompileAnalyzedLimited(e.cat, root, budget)
 		if err == nil {
 			root.Walk(func(n *plan.Node) {
 				if a := resp.Analysis.Collector(n); a != nil && n.Op.IsRankJoin() {
@@ -264,16 +336,16 @@ func (e *Engine) run(req Request) Response {
 			})
 		}
 	} else {
-		op, err = plan.CompileTraced(e.cat, root, func(n *plan.Node, o exec.Operator) {
+		op, err = plan.CompileTracedLimited(e.cat, root, func(n *plan.Node, o exec.Operator) {
 			if sr, ok := o.(exec.StatsReporter); ok && n.Op.IsRankJoin() {
 				joins = append(joins, tracedJoin{n, sr})
 			}
-		})
+		}, budget)
 	}
 	if err != nil {
 		return fail(fmt.Errorf("engine: compile: %w", err))
 	}
-	tuples, err := exec.Collect(op)
+	tuples, err := exec.CollectCtx(ctx, op)
 	if err != nil {
 		return fail(fmt.Errorf("engine: execute: %w", err))
 	}

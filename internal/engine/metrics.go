@@ -8,10 +8,13 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"rankopt/internal/exec"
 )
 
 // latencyBucketBounds are the histogram's inclusive upper bounds. The
@@ -46,6 +49,16 @@ type metrics struct {
 	analyzed atomic.Uint64
 	tuples   atomic.Uint64
 
+	// cancelled / deadlined / overBudget / admissionTimeouts classify the
+	// error sessions by the robustness taxonomy (each such session also
+	// counts in errors).
+	cancelled         atomic.Uint64
+	deadlined         atomic.Uint64
+	overBudget        atomic.Uint64
+	admissionTimeouts atomic.Uint64
+	// admissionWaiting is the live admission-queue depth gauge.
+	admissionWaiting atomic.Int64
+
 	latencySumNanos atomic.Int64
 	latency         [numLatencyBuckets]atomic.Uint64
 }
@@ -65,6 +78,16 @@ func (m *metrics) observe(resp *Response, analyzed bool) {
 	m.queries.Add(1)
 	if resp.Err != nil {
 		m.errors.Add(1)
+		switch {
+		case errors.Is(resp.Err, exec.ErrDeadlineExceeded):
+			m.deadlined.Add(1)
+		case errors.Is(resp.Err, exec.ErrQueryCancelled):
+			m.cancelled.Add(1)
+		case errors.Is(resp.Err, exec.ErrBudgetExceeded):
+			m.overBudget.Add(1)
+		case errors.Is(resp.Err, ErrAdmissionTimeout):
+			m.admissionTimeouts.Add(1)
+		}
 	}
 	if analyzed {
 		m.analyzed.Add(1)
@@ -90,6 +113,13 @@ type Metrics struct {
 	Analyzed       uint64 `json:"analyzed"`
 	TuplesReturned uint64 `json:"tuples_returned"`
 
+	QueriesCancelled  uint64 `json:"queries_cancelled"`
+	QueriesDeadlined  uint64 `json:"queries_deadline_exceeded"`
+	QueriesOverBudget uint64 `json:"queries_over_budget"`
+	AdmissionTimeouts uint64 `json:"admission_timeouts"`
+	AdmissionWaiting  int64  `json:"admission_waiting"`
+	InFlight          int    `json:"in_flight"`
+
 	CacheHits          uint64 `json:"cache_hits"`
 	CacheMisses        uint64 `json:"cache_misses"`
 	CacheInvalidations uint64 `json:"cache_invalidations"`
@@ -109,10 +139,16 @@ type Metrics struct {
 // sessions — fine for monitoring, which is its job.
 func (e *Engine) Snapshot() Metrics {
 	m := Metrics{
-		Queries:        e.met.queries.Load(),
-		Errors:         e.met.errors.Load(),
-		Analyzed:       e.met.analyzed.Load(),
-		TuplesReturned: e.met.tuples.Load(),
+		Queries:           e.met.queries.Load(),
+		Errors:            e.met.errors.Load(),
+		Analyzed:          e.met.analyzed.Load(),
+		TuplesReturned:    e.met.tuples.Load(),
+		QueriesCancelled:  e.met.cancelled.Load(),
+		QueriesDeadlined:  e.met.deadlined.Load(),
+		QueriesOverBudget: e.met.overBudget.Load(),
+		AdmissionTimeouts: e.met.admissionTimeouts.Load(),
+		AdmissionWaiting:  e.met.admissionWaiting.Load(),
+		InFlight:          e.adm.inFlight(),
 	}
 	cs := e.CacheStats()
 	m.CacheHits, m.CacheMisses = cs.Hits, cs.Misses
@@ -187,6 +223,12 @@ func (e *Engine) serveMetricsText(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE raqo_errors_total counter\nraqo_errors_total %d\n", m.Errors)
 	fmt.Fprintf(w, "# TYPE raqo_analyzed_queries_total counter\nraqo_analyzed_queries_total %d\n", m.Analyzed)
 	fmt.Fprintf(w, "# TYPE raqo_tuples_returned_total counter\nraqo_tuples_returned_total %d\n", m.TuplesReturned)
+	fmt.Fprintf(w, "# TYPE raqo_queries_cancelled_total counter\nraqo_queries_cancelled_total %d\n", m.QueriesCancelled)
+	fmt.Fprintf(w, "# TYPE raqo_queries_deadline_exceeded_total counter\nraqo_queries_deadline_exceeded_total %d\n", m.QueriesDeadlined)
+	fmt.Fprintf(w, "# TYPE raqo_queries_over_budget_total counter\nraqo_queries_over_budget_total %d\n", m.QueriesOverBudget)
+	fmt.Fprintf(w, "# TYPE raqo_admission_timeouts_total counter\nraqo_admission_timeouts_total %d\n", m.AdmissionTimeouts)
+	fmt.Fprintf(w, "# TYPE raqo_admission_waiting gauge\nraqo_admission_waiting %d\n", m.AdmissionWaiting)
+	fmt.Fprintf(w, "# TYPE raqo_sessions_in_flight gauge\nraqo_sessions_in_flight %d\n", m.InFlight)
 	fmt.Fprintf(w, "# TYPE raqo_plan_cache_hits_total counter\nraqo_plan_cache_hits_total %d\n", m.CacheHits)
 	fmt.Fprintf(w, "# TYPE raqo_plan_cache_misses_total counter\nraqo_plan_cache_misses_total %d\n", m.CacheMisses)
 	fmt.Fprintf(w, "# TYPE raqo_plan_cache_entries gauge\nraqo_plan_cache_entries %d\n", m.CacheEntries)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -225,11 +226,15 @@ func (h *HashAggregate) Schema() *relation.Schema {
 }
 
 // Open implements Operator: drains the input and aggregates.
-func (h *HashAggregate) Open() error {
-	if err := h.In.Open(); err != nil {
+func (h *HashAggregate) Open() error { return h.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx: the blocking drain polls the context on
+// the sampling cadence.
+func (h *HashAggregate) OpenCtx(ctx context.Context) error {
+	if err := OpenOp(ctx, h.In); err != nil {
 		return err
 	}
-	if err := h.load(); err != nil {
+	if err := h.load(ctx); err != nil {
 		closeQuietly(h.In)
 		return err
 	}
@@ -237,7 +242,7 @@ func (h *HashAggregate) Open() error {
 }
 
 // load resolves the schema and drains the opened input into groups.
-func (h *HashAggregate) load() error {
+func (h *HashAggregate) load(ctx context.Context) error {
 	sch, err := aggSchema(h.In.Schema(), h.GroupBy, h.Aggs)
 	if err != nil {
 		return err
@@ -252,7 +257,12 @@ func (h *HashAggregate) load() error {
 		accs    []accumulator
 	}
 	groups := map[string]*group{}
+	var c canceller
+	c.reset(ctx)
 	for {
+		if err := c.poll(); err != nil {
+			return err
+		}
 		t, ok, err := h.In.Next()
 		if err != nil {
 			return err
@@ -366,11 +376,14 @@ func (s *SortedAggregate) Schema() *relation.Schema {
 }
 
 // Open implements Operator.
-func (s *SortedAggregate) Open() error {
+func (s *SortedAggregate) Open() error { return s.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx, forwarding the context to the input.
+func (s *SortedAggregate) OpenCtx(ctx context.Context) error {
 	if len(s.GroupBy) == 0 {
 		return fmt.Errorf("exec: sorted aggregate needs group columns")
 	}
-	if err := s.In.Open(); err != nil {
+	if err := OpenOp(ctx, s.In); err != nil {
 		return err
 	}
 	sch, err := aggSchema(s.In.Schema(), s.GroupBy, s.Aggs)

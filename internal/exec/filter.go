@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"rankopt/internal/expr"
@@ -23,8 +24,11 @@ func NewFilter(in Operator, pred expr.Expr) *Filter { return &Filter{In: in, Pre
 func (f *Filter) Schema() *relation.Schema { return f.In.Schema() }
 
 // Open implements Operator.
-func (f *Filter) Open() error {
-	if err := f.In.Open(); err != nil {
+func (f *Filter) Open() error { return f.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx, forwarding the context to the input.
+func (f *Filter) OpenCtx(ctx context.Context) error {
+	if err := OpenOp(ctx, f.In); err != nil {
 		return err
 	}
 	ev, err := f.Pred.Bind(f.In.Schema())
@@ -87,8 +91,11 @@ func NewProject(in Operator, items ...ProjectItem) *Project {
 func (p *Project) Schema() *relation.Schema { return p.schema }
 
 // Open implements Operator.
-func (p *Project) Open() error {
-	if err := p.In.Open(); err != nil {
+func (p *Project) Open() error { return p.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx, forwarding the context to the input.
+func (p *Project) OpenCtx(ctx context.Context) error {
+	if err := OpenOp(ctx, p.In); err != nil {
 		return err
 	}
 	p.evals = make([]expr.Eval, len(p.Items))
@@ -138,12 +145,15 @@ func NewLimit(in Operator, k int) *Limit { return &Limit{In: in, K: k} }
 func (l *Limit) Schema() *relation.Schema { return l.In.Schema() }
 
 // Open implements Operator.
-func (l *Limit) Open() error {
+func (l *Limit) Open() error { return l.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx, forwarding the context to the input.
+func (l *Limit) OpenCtx(ctx context.Context) error {
 	if l.K < 0 {
 		return fmt.Errorf("exec: negative limit %d", l.K)
 	}
 	l.n = 0
-	return l.In.Open()
+	return OpenOp(ctx, l.In)
 }
 
 // Next implements Operator.
@@ -189,8 +199,11 @@ func NewRankAssign(in Operator, score expr.Expr) *RankAssign {
 func (r *RankAssign) Schema() *relation.Schema { return r.schema }
 
 // Open implements Operator.
-func (r *RankAssign) Open() error {
-	if err := r.In.Open(); err != nil {
+func (r *RankAssign) Open() error { return r.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx, forwarding the context to the input.
+func (r *RankAssign) OpenCtx(ctx context.Context) error {
+	if err := OpenOp(ctx, r.In); err != nil {
 		return err
 	}
 	ev, err := r.Score.Bind(r.In.Schema())

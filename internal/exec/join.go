@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"rankopt/internal/catalog"
@@ -45,11 +46,14 @@ func NewNestedLoopsJoin(left, right Operator, pred expr.Expr) *NestedLoopsJoin {
 func (j *NestedLoopsJoin) Schema() *relation.Schema { return j.schema }
 
 // Open implements Operator: materializes the inner input.
-func (j *NestedLoopsJoin) Open() error {
-	if err := j.Left.Open(); err != nil {
+func (j *NestedLoopsJoin) Open() error { return j.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx; the inner materialization polls the context.
+func (j *NestedLoopsJoin) OpenCtx(ctx context.Context) error {
+	if err := OpenOp(ctx, j.Left); err != nil {
 		return err
 	}
-	inner, err := Collect(j.Right)
+	inner, err := CollectCtx(ctx, j.Right)
 	if err != nil {
 		closeQuietly(j.Left)
 		return err
@@ -141,11 +145,14 @@ func NewIndexNLJoin(left Operator, innerRel *relation.Relation, innerIdx *catalo
 func (j *IndexNLJoin) Schema() *relation.Schema { return j.schema }
 
 // Open implements Operator.
-func (j *IndexNLJoin) Open() error {
+func (j *IndexNLJoin) Open() error { return j.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx, forwarding the context to the outer input.
+func (j *IndexNLJoin) OpenCtx(ctx context.Context) error {
 	if j.InnerIdx == nil || j.InnerIdx.Tree == nil {
 		return fmt.Errorf("exec: index nested-loops join without inner index")
 	}
-	if err := j.Left.Open(); err != nil {
+	if err := OpenOp(ctx, j.Left); err != nil {
 		return err
 	}
 	keyEv, err := j.OuterKey.Bind(j.Left.Schema())
@@ -220,6 +227,8 @@ type HashJoin struct {
 	LeftKey, RightKey expr.Expr
 	// Residual is an optional extra predicate over the joined tuple.
 	Residual expr.Expr
+	// Budget, when set, is charged for every tuple held in the build table.
+	Budget *Budget
 
 	schema  *relation.Schema
 	table   map[any][]relation.Tuple
@@ -229,6 +238,7 @@ type HashJoin struct {
 	matches []relation.Tuple
 	mpos    int
 	done    bool
+	acct    accountant
 	// MaxTable records the build-table tuple count for buffer accounting.
 	MaxTable int
 }
@@ -245,18 +255,22 @@ func NewHashJoin(left, right Operator, leftKey, rightKey, residual expr.Expr) *H
 func (j *HashJoin) Schema() *relation.Schema { return j.schema }
 
 // Open implements Operator: drains the left input into the hash table.
-func (j *HashJoin) Open() error {
-	if err := j.Left.Open(); err != nil {
+func (j *HashJoin) Open() error { return j.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx: the blocking build polls the context and
+// charges the budget per buffered build tuple.
+func (j *HashJoin) OpenCtx(ctx context.Context) error {
+	if err := OpenOp(ctx, j.Left); err != nil {
 		return err
 	}
-	if err := j.build(); err != nil {
+	if err := j.build(ctx); err != nil {
 		closeQuietly(j.Left)
 		return err
 	}
 	if err := j.Left.Close(); err != nil {
 		return err
 	}
-	if err := j.Right.Open(); err != nil {
+	if err := OpenOp(ctx, j.Right); err != nil {
 		return err
 	}
 	rKeyEv, err := j.RightKey.Bind(j.Right.Schema())
@@ -276,14 +290,21 @@ func (j *HashJoin) Open() error {
 }
 
 // build drains the opened left input into the hash table.
-func (j *HashJoin) build() error {
+func (j *HashJoin) build(ctx context.Context) error {
+	j.acct.releaseAll()
+	j.acct.budget = j.Budget
 	lKeyEv, err := j.LeftKey.Bind(j.Left.Schema())
 	if err != nil {
 		return err
 	}
 	j.table = map[any][]relation.Tuple{}
 	n := 0
+	var c canceller
+	c.reset(ctx)
 	for {
+		if err := c.poll(); err != nil {
+			return err
+		}
 		t, ok, err := j.Left.Next()
 		if err != nil {
 			return err
@@ -297,6 +318,9 @@ func (j *HashJoin) build() error {
 		}
 		if k.IsNull() {
 			continue
+		}
+		if err := j.acct.charge(1); err != nil {
+			return err
 		}
 		j.table[k.HashKey()] = append(j.table[k.HashKey()], t)
 		n++
@@ -350,6 +374,7 @@ func (j *HashJoin) Next() (relation.Tuple, bool, error) {
 // Close implements Operator.
 func (j *HashJoin) Close() error {
 	j.table = nil
+	j.acct.releaseAll()
 	return j.Right.Close()
 }
 
@@ -387,11 +412,14 @@ func NewSortMergeJoin(left, right Operator, leftKey, rightKey, residual expr.Exp
 func (j *SortMergeJoin) Schema() *relation.Schema { return j.schema }
 
 // Open implements Operator.
-func (j *SortMergeJoin) Open() error {
-	if err := j.Left.Open(); err != nil {
+func (j *SortMergeJoin) Open() error { return j.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx, forwarding the context to both inputs.
+func (j *SortMergeJoin) OpenCtx(ctx context.Context) error {
+	if err := OpenOp(ctx, j.Left); err != nil {
 		return err
 	}
-	if err := j.Right.Open(); err != nil {
+	if err := OpenOp(ctx, j.Right); err != nil {
 		closeQuietly(j.Left)
 		return err
 	}
@@ -535,6 +563,8 @@ type SymmetricHashJoin struct {
 	Left, Right       Operator
 	LeftKey, RightKey expr.Expr
 	Residual          expr.Expr
+	// Budget, when set, is charged for every tuple buffered in either table.
+	Budget *Budget
 
 	schema *relation.Schema
 	lKeyEv expr.Eval
@@ -545,6 +575,8 @@ type SymmetricHashJoin struct {
 	lDone, rDone   bool
 	pullLeft       bool
 	pending        []relation.Tuple
+	cancel         canceller
+	acct           accountant
 }
 
 // NewSymmetricHashJoin constructs the join.
@@ -559,11 +591,18 @@ func NewSymmetricHashJoin(left, right Operator, leftKey, rightKey, residual expr
 func (j *SymmetricHashJoin) Schema() *relation.Schema { return j.schema }
 
 // Open implements Operator.
-func (j *SymmetricHashJoin) Open() error {
-	if err := j.Left.Open(); err != nil {
+func (j *SymmetricHashJoin) Open() error { return j.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx, forwarding the context to both inputs and
+// polling it in Next's pull loop.
+func (j *SymmetricHashJoin) OpenCtx(ctx context.Context) error {
+	j.cancel.reset(ctx)
+	j.acct.releaseAll()
+	j.acct.budget = j.Budget
+	if err := OpenOp(ctx, j.Left); err != nil {
 		return err
 	}
-	if err := j.Right.Open(); err != nil {
+	if err := OpenOp(ctx, j.Right); err != nil {
 		closeQuietly(j.Left)
 		return err
 	}
@@ -622,6 +661,9 @@ func (j *SymmetricHashJoin) step(left bool) error {
 		return nil
 	}
 	hk := k.HashKey()
+	if err := j.acct.charge(1); err != nil {
+		return err
+	}
 	own[hk] = append(own[hk], t)
 	for _, m := range other[hk] {
 		var out relation.Tuple
@@ -644,6 +686,9 @@ func (j *SymmetricHashJoin) step(left bool) error {
 // Next implements Operator.
 func (j *SymmetricHashJoin) Next() (relation.Tuple, bool, error) {
 	for {
+		if err := j.cancel.poll(); err != nil {
+			return nil, false, err
+		}
 		if len(j.pending) > 0 {
 			t := j.pending[0]
 			j.pending = j.pending[1:]
@@ -669,6 +714,7 @@ func (j *SymmetricHashJoin) Next() (relation.Tuple, bool, error) {
 // Close implements Operator.
 func (j *SymmetricHashJoin) Close() error {
 	j.lTable, j.rTable = nil, nil
+	j.acct.releaseAll()
 	err1 := j.Left.Close()
 	err2 := j.Right.Close()
 	if err1 != nil {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -25,6 +26,10 @@ type MultiHRJN struct {
 	// Keys[i] evaluates input i's join key; results combine tuples sharing
 	// one key value across all inputs.
 	Keys []expr.Expr
+	// Budget, when set, is charged for every tuple buffered in the m hash
+	// tables and the global ranking queue, and consulted for the per-input
+	// depth limit.
+	Budget *Budget
 
 	schema   *relation.Schema
 	scoreEvs []expr.Eval
@@ -40,6 +45,9 @@ type MultiHRJN struct {
 	// parts is the combination scratch buffer, reused across pulls so the
 	// per-tuple path does not allocate it.
 	parts []scored
+
+	cancel canceller
+	acct   accountant
 
 	depths   []int
 	maxQueue int
@@ -82,12 +90,19 @@ func (j *MultiHRJN) gauges() analyzeGauges {
 }
 
 // Open implements Operator.
-func (j *MultiHRJN) Open() error {
+func (j *MultiHRJN) Open() error { return j.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx, forwarding the context to every input and
+// polling it in Next's pull loop.
+func (j *MultiHRJN) OpenCtx(ctx context.Context) error {
+	j.cancel.reset(ctx)
+	j.acct.releaseAll()
+	j.acct.budget = j.Budget
 	m := len(j.Inputs)
 	j.scoreEvs = make([]expr.Eval, m)
 	j.keyEvs = make([]expr.Eval, m)
 	for i, in := range j.Inputs {
-		if err := in.Open(); err != nil {
+		if err := OpenOp(ctx, in); err != nil {
 			closeQuietly(j.Inputs[:i]...)
 			return err
 		}
@@ -180,6 +195,9 @@ func (j *MultiHRJN) pull(i int) error {
 	}
 	// Consumed tuples count toward the depth before the NULL-score drop.
 	j.depths[i]++
+	if err := j.Budget.depthOK(j.depths[i]); err != nil {
+		return err
+	}
 	sv, err := j.scoreEvs[i](t)
 	if err != nil {
 		return err
@@ -206,6 +224,9 @@ func (j *MultiHRJN) pull(i int) error {
 		return nil
 	}
 	hk := kv.HashKey()
+	if err := j.acct.charge(1); err != nil {
+		return err
+	}
 	j.tables[i][hk] = append(j.tables[i][hk], scored{t, s})
 	// Enumerate combinations: the new tuple at position i, matching tuples
 	// from every other input.
@@ -221,6 +242,9 @@ func (j *MultiHRJN) combine(hk any, slot, fixed int, parts []scored) error {
 		for _, p := range parts {
 			total += p.s
 			out = append(out, p.t...)
+		}
+		if err := j.acct.charge(1); err != nil {
+			return err
 		}
 		j.pq.push(rankItem{score: total, seq: j.seq, tuple: out})
 		j.seq++
@@ -244,14 +268,19 @@ func (j *MultiHRJN) combine(hk any, slot, fixed int, parts []scored) error {
 // Next implements Operator.
 func (j *MultiHRJN) Next() (relation.Tuple, bool, error) {
 	for {
+		if err := j.cancel.poll(); err != nil {
+			return nil, false, err
+		}
 		if len(j.pq) > 0 && j.pq[0].score >= j.threshold()-scoreEps {
 			it := j.pq.pop()
+			j.acct.release(1)
 			j.emitted++
 			return it.tuple, true, nil
 		}
 		if j.allDone() {
 			if len(j.pq) > 0 {
 				it := j.pq.pop()
+				j.acct.release(1)
 				j.emitted++
 				return it.tuple, true, nil
 			}
@@ -278,5 +307,6 @@ func (j *MultiHRJN) Close() error {
 	j.tables = nil
 	j.pq = nil
 	j.parts = nil
+	j.acct.releaseAll()
 	return first
 }

@@ -8,6 +8,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"rankopt/internal/relation"
@@ -28,6 +29,29 @@ type Operator interface {
 	Close() error
 }
 
+// OperatorCtx is the context-aware open path: operators that buffer, loop,
+// or forward to children implement it so a query context (cancellation,
+// deadline) reaches the whole tree. Plain Operator implementations keep
+// working through the OpenOp shim.
+type OperatorCtx interface {
+	Operator
+	// OpenCtx behaves like Open under the given query context: blocking work
+	// (materialization, hash build) polls ctx on the cancelCheckPeriod
+	// cadence, and the context is retained for Next-time polling. The
+	// Open-failure contract is unchanged: children are already closed.
+	OpenCtx(ctx context.Context) error
+}
+
+// OpenOp opens op under ctx, falling back to the context-free Open for
+// operators that never implemented OpenCtx — the compatibility shim that
+// lets context-aware parents treat every child uniformly.
+func OpenOp(ctx context.Context, op Operator) error {
+	if oc, ok := op.(OperatorCtx); ok {
+		return oc.OpenCtx(ctx)
+	}
+	return op.Open()
+}
+
 // closeQuietly closes already-opened children on an Open failure path. The
 // Open error takes precedence, so Close errors are discarded.
 func closeQuietly(ops ...Operator) {
@@ -42,11 +66,29 @@ func closeQuietly(ops ...Operator) {
 // A failed Open needs no Close: per the Operator contract the operator has
 // already released whatever it opened.
 func Collect(op Operator) ([]relation.Tuple, error) {
-	if err := op.Open(); err != nil {
+	return CollectCtx(context.Background(), op)
+}
+
+// CollectCtx collects like Collect under a query context: the tree is opened
+// through OpenOp so every context-aware operator sees ctx, and the drain loop
+// itself polls ctx on the sampling cadence. On any failure — including
+// cancellation — the tree is closed before returning, so a cancelled query
+// never leaks goroutines, pooled buffers, or open state.
+func CollectCtx(ctx context.Context, op Operator) ([]relation.Tuple, error) {
+	if err := CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := OpenOp(ctx, op); err != nil {
 		return nil, err
 	}
 	var out []relation.Tuple
+	var c canceller
+	c.reset(ctx)
 	for {
+		if err := c.poll(); err != nil {
+			_ = op.Close()
+			return nil, err
+		}
 		t, ok, err := op.Next()
 		if err != nil {
 			_ = op.Close()
@@ -101,9 +143,12 @@ func NewCounter(in Operator) *Counter { return &Counter{In: in} }
 func (c *Counter) Schema() *relation.Schema { return c.In.Schema() }
 
 // Open implements Operator; it resets the count.
-func (c *Counter) Open() error {
+func (c *Counter) Open() error { return c.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx, forwarding the context to the input.
+func (c *Counter) OpenCtx(ctx context.Context) error {
 	c.count = 0
-	return c.In.Open()
+	return OpenOp(ctx, c.In)
 }
 
 // Next implements Operator.

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"time"
 
 	"rankopt/internal/relation"
@@ -90,9 +91,13 @@ func (a *Analyzed) Schema() *relation.Schema { return a.In.Schema() }
 // Open implements Operator. A failed Open has, per the Operator contract,
 // already closed whatever the inner operator opened, so the wrapper only
 // records and propagates.
-func (a *Analyzed) Open() error {
+func (a *Analyzed) Open() error { return a.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx: the context reaches the wrapped operator
+// even under EXPLAIN ANALYZE.
+func (a *Analyzed) OpenCtx(ctx context.Context) error {
 	start := time.Now()
-	err := a.In.Open()
+	err := OpenOp(ctx, a.In)
 	a.stats.OpenNanos += time.Since(start).Nanoseconds()
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -166,6 +167,10 @@ type HRJN struct {
 	// and the ranking queue so the steady-state pull loop does not rehash
 	// or regrow. Zero means no hint.
 	SizeHintL, SizeHintR, QueueHint int
+	// Budget, when set, is charged for every tuple buffered in the hash
+	// tables and the ranking queue, and consulted for the per-input depth
+	// limit. Nil means unlimited.
+	Budget *Budget
 
 	schema                     *relation.Schema
 	lScore, rScore, lKey, rKey expr.Eval
@@ -181,6 +186,9 @@ type HRJN struct {
 	lSeen, rSeen int
 	lDone, rDone bool
 	pullLeft     bool
+
+	cancel canceller
+	acct   accountant
 
 	stats RankJoinStats
 }
@@ -217,11 +225,15 @@ func (j *HRJN) gauges() analyzeGauges {
 }
 
 // Open implements Operator.
-func (j *HRJN) Open() error {
-	if err := j.Left.Open(); err != nil {
+func (j *HRJN) Open() error { return j.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx: the context is forwarded to both inputs
+// and polled by Next's pull loop on the sampling cadence.
+func (j *HRJN) OpenCtx(ctx context.Context) error {
+	if err := OpenOp(ctx, j.Left); err != nil {
 		return err
 	}
-	if err := j.Right.Open(); err != nil {
+	if err := OpenOp(ctx, j.Right); err != nil {
 		closeQuietly(j.Left)
 		return err
 	}
@@ -229,6 +241,9 @@ func (j *HRJN) Open() error {
 		closeQuietly(j.Left, j.Right)
 		return err
 	}
+	j.cancel.reset(ctx)
+	j.acct.releaseAll()
+	j.acct.budget = j.Budget
 	j.lTable = make(map[any][]scored, sizeHint(float64(j.SizeHintL)))
 	j.rTable = make(map[any][]scored, sizeHint(float64(j.SizeHintR)))
 	j.pq.grow(sizeHint(float64(j.QueueHint)))
@@ -307,8 +322,14 @@ func (j *HRJN) pull(left bool) error {
 	// wrapped around the input would measure.
 	if left {
 		j.stats.LeftDepth++
+		if err := j.Budget.depthOK(j.stats.LeftDepth); err != nil {
+			return err
+		}
 	} else {
 		j.stats.RightDepth++
+		if err := j.Budget.depthOK(j.stats.RightDepth); err != nil {
+			return err
+		}
 	}
 	var s relation.Value
 	if left {
@@ -361,6 +382,10 @@ func (j *HRJN) pull(left bool) error {
 		return nil
 	}
 	hk := k.HashKey()
+	// The inserted tuple is buffered in its hash table until Close.
+	if err := j.acct.charge(1); err != nil {
+		return err
+	}
 	if left {
 		j.lTable[hk] = append(j.lTable[hk], scored{t, sc})
 		for _, m := range j.rTable[hk] {
@@ -392,6 +417,9 @@ func (j *HRJN) emit(l, r relation.Tuple, score float64) error {
 	if !pass {
 		j.outPool.put(out)
 		return nil
+	}
+	if err := j.acct.charge(1); err != nil {
+		return err
 	}
 	j.pq.push(rankItem{score: score, seq: j.seq, tuple: out})
 	j.seq++
@@ -427,17 +455,24 @@ func (j *HRJN) chooseSide() bool {
 	return side
 }
 
-// Next implements Operator.
+// Next implements Operator. The inner pull loop — unbounded when the
+// threshold never drops — polls the query context on the sampling cadence,
+// so a cancelled or past-deadline query escapes even mid-pull-storm.
 func (j *HRJN) Next() (relation.Tuple, bool, error) {
 	for {
+		if err := j.cancel.poll(); err != nil {
+			return nil, false, err
+		}
 		if len(j.pq) > 0 && j.pq[0].score >= j.threshold()-scoreEps {
 			it := j.pq.pop()
+			j.acct.release(1)
 			j.stats.Emitted++
 			return it.tuple, true, nil
 		}
 		if j.lDone && j.rDone {
 			if len(j.pq) > 0 {
 				it := j.pq.pop()
+				j.acct.release(1)
 				j.stats.Emitted++
 				return it.tuple, true, nil
 			}
@@ -453,6 +488,7 @@ func (j *HRJN) Next() (relation.Tuple, bool, error) {
 func (j *HRJN) Close() error {
 	j.lTable, j.rTable = nil, nil
 	j.pq = nil
+	j.acct.releaseAll()
 	err1 := j.Left.Close()
 	err2 := j.Right.Close()
 	if err1 != nil {
@@ -478,6 +514,9 @@ type NRJN struct {
 	// QueueHint pre-sizes the ranking queue from the optimizer's estimated
 	// buffered-result count (zero = no hint).
 	QueueHint int
+	// Budget, when set, is charged for the materialized inner and every
+	// queued result, and consulted for the outer depth limit.
+	Budget *Budget
 
 	schema *relation.Schema
 	lScore expr.Eval
@@ -491,6 +530,9 @@ type NRJN struct {
 	lastL    float64
 	lSeen    int
 	lDone    bool
+
+	cancel canceller
+	acct   accountant
 
 	stats RankJoinStats
 }
@@ -522,12 +564,16 @@ func (j *NRJN) gauges() analyzeGauges {
 }
 
 // Open implements Operator: materializes and scores the inner input.
-func (j *NRJN) Open() error {
-	if err := j.Left.Open(); err != nil {
+func (j *NRJN) Open() error { return j.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx: inner materialization (the blocking part
+// of Open) runs under the context, and Next's outer loop polls it.
+func (j *NRJN) OpenCtx(ctx context.Context) error {
+	if err := OpenOp(ctx, j.Left); err != nil {
 		return err
 	}
-	if err := j.load(); err != nil {
-		// The inner was opened and closed inside Collect; only the outer
+	if err := j.load(ctx); err != nil {
+		// The inner was opened and closed inside CollectCtx; only the outer
 		// remains to clean up.
 		closeQuietly(j.Left)
 		return err
@@ -536,7 +582,10 @@ func (j *NRJN) Open() error {
 }
 
 // load binds evaluators and materializes the scored inner input.
-func (j *NRJN) load() error {
+func (j *NRJN) load(ctx context.Context) error {
+	j.cancel.reset(ctx)
+	j.acct.releaseAll()
+	j.acct.budget = j.Budget
 	var err error
 	if j.lScore, err = j.LeftScore.Bind(j.Left.Schema()); err != nil {
 		return err
@@ -548,8 +597,12 @@ func (j *NRJN) load() error {
 	if j.predEv, err = bindPred(j.Pred, j.schema); err != nil {
 		return err
 	}
-	inner, err := Collect(j.Right)
+	inner, err := CollectCtx(ctx, j.Right)
 	if err != nil {
+		return err
+	}
+	// The whole inner is buffered until Close.
+	if err := j.acct.charge(len(inner)); err != nil {
 		return err
 	}
 	if cap(j.inner) < len(inner) {
@@ -600,14 +653,19 @@ func (j *NRJN) threshold() float64 {
 // Next implements Operator.
 func (j *NRJN) Next() (relation.Tuple, bool, error) {
 	for {
+		if err := j.cancel.poll(); err != nil {
+			return nil, false, err
+		}
 		if len(j.pq) > 0 && j.pq[0].score >= j.threshold()-scoreEps {
 			it := j.pq.pop()
+			j.acct.release(1)
 			j.stats.Emitted++
 			return it.tuple, true, nil
 		}
 		if j.lDone {
 			if len(j.pq) > 0 {
 				it := j.pq.pop()
+				j.acct.release(1)
 				j.stats.Emitted++
 				return it.tuple, true, nil
 			}
@@ -624,6 +682,9 @@ func (j *NRJN) Next() (relation.Tuple, bool, error) {
 		// The tuple was consumed from the outer input: it counts toward the
 		// depth even when a NULL score drops it from ranking.
 		j.stats.LeftDepth++
+		if err := j.Budget.depthOK(j.stats.LeftDepth); err != nil {
+			return nil, false, err
+		}
 		v, err := j.lScore(t)
 		if err != nil {
 			return nil, false, err
@@ -650,6 +711,9 @@ func (j *NRJN) Next() (relation.Tuple, bool, error) {
 				j.outPool.put(out)
 				continue
 			}
+			if err := j.acct.charge(1); err != nil {
+				return nil, false, err
+			}
 			j.pq.push(rankItem{score: s + m.s, seq: j.seq, tuple: out})
 			j.seq++
 			if len(j.pq) > j.stats.MaxQueue {
@@ -663,5 +727,6 @@ func (j *NRJN) Next() (relation.Tuple, bool, error) {
 func (j *NRJN) Close() error {
 	j.inner = nil
 	j.pq = nil
+	j.acct.releaseAll()
 	return j.Left.Close()
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sort"
 
 	"rankopt/internal/expr"
@@ -19,9 +20,13 @@ type SortKey struct {
 type Sort struct {
 	In   Operator
 	Keys []SortKey
+	// Budget, when set, is charged for every buffered input tuple — the full
+	// input, since Sort materializes everything.
+	Budget *Budget
 
-	buf []relation.Tuple
-	pos int
+	buf  []relation.Tuple
+	pos  int
+	acct accountant
 	// Spilled tracks how many tuples were (conceptually) written to runs;
 	// the in-memory implementation records the value for instrumentation
 	// parity with the cost model but never actually spills.
@@ -41,11 +46,15 @@ func NewSortByScore(in Operator, score expr.Expr) *Sort {
 func (s *Sort) Schema() *relation.Schema { return s.In.Schema() }
 
 // Open implements Operator: drains the input and sorts.
-func (s *Sort) Open() error {
-	if err := s.In.Open(); err != nil {
+func (s *Sort) Open() error { return s.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx: the blocking drain polls the context on
+// the sampling cadence and charges the budget per buffered tuple.
+func (s *Sort) OpenCtx(ctx context.Context) error {
+	if err := OpenOp(ctx, s.In); err != nil {
 		return err
 	}
-	if err := s.load(); err != nil {
+	if err := s.load(ctx); err != nil {
 		closeQuietly(s.In)
 		return err
 	}
@@ -53,7 +62,9 @@ func (s *Sort) Open() error {
 }
 
 // load binds the sort keys and drains the opened input into the buffer.
-func (s *Sort) load() error {
+func (s *Sort) load(ctx context.Context) error {
+	s.acct.releaseAll()
+	s.acct.budget = s.Budget
 	evals := make([]expr.Eval, len(s.Keys))
 	for i, k := range s.Keys {
 		ev, err := k.E.Bind(s.In.Schema())
@@ -64,18 +75,26 @@ func (s *Sort) load() error {
 	}
 	s.buf = s.buf[:0]
 	s.pos = 0
+	var c canceller
+	c.reset(ctx)
 	type keyed struct {
 		t    relation.Tuple
 		keys []relation.Value
 	}
 	var rows []keyed
 	for {
+		if err := c.poll(); err != nil {
+			return err
+		}
 		t, ok, err := s.In.Next()
 		if err != nil {
 			return err
 		}
 		if !ok {
 			break
+		}
+		if err := s.acct.charge(1); err != nil {
+			return err
 		}
 		ks := make([]relation.Value, len(evals))
 		for i, ev := range evals {
@@ -120,5 +139,6 @@ func (s *Sort) Next() (relation.Tuple, bool, error) {
 // Close implements Operator.
 func (s *Sort) Close() error {
 	s.buf = nil
+	s.acct.releaseAll()
 	return s.In.Close()
 }

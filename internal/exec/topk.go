@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sort"
 
 	"rankopt/internal/expr"
@@ -17,10 +18,13 @@ type TopK struct {
 	In    Operator
 	Score expr.Expr
 	K     int
+	// Budget, when set, is charged for every tuple held in the bounded heap.
+	Budget *Budget
 
 	out     []relation.Tuple
 	pos     int
 	maxHeap int
+	acct    accountant
 }
 
 // gauges exposes the bounded-heap high-water mark to the Analyzed collector.
@@ -94,11 +98,16 @@ func (h topKHeap) fixRoot() {
 }
 
 // Open implements Operator: drains the input through the bounded heap.
-func (t *TopK) Open() error {
-	if err := t.In.Open(); err != nil {
+func (t *TopK) Open() error { return t.OpenCtx(context.Background()) }
+
+// OpenCtx implements OperatorCtx: the blocking drain polls the context on
+// the sampling cadence, so even this bounded-memory blocking operator obeys
+// cancellation mid-load.
+func (t *TopK) OpenCtx(ctx context.Context) error {
+	if err := OpenOp(ctx, t.In); err != nil {
 		return err
 	}
-	if err := t.load(); err != nil {
+	if err := t.load(ctx); err != nil {
 		closeQuietly(t.In)
 		return err
 	}
@@ -106,14 +115,21 @@ func (t *TopK) Open() error {
 }
 
 // load binds the score and drains the opened input through the heap.
-func (t *TopK) load() error {
+func (t *TopK) load(ctx context.Context) error {
+	t.acct.releaseAll()
+	t.acct.budget = t.Budget
 	ev, err := t.Score.Bind(t.In.Schema())
 	if err != nil {
 		return err
 	}
+	var c canceller
+	c.reset(ctx)
 	h := make(topKHeap, 0, sizeHint(float64(t.K)))
 	seq := 0
 	for {
+		if err := c.poll(); err != nil {
+			return err
+		}
 		tup, ok, err := t.In.Next()
 		if err != nil {
 			return err
@@ -131,6 +147,11 @@ func (t *TopK) load() error {
 		s := v.AsFloat()
 		switch {
 		case len(h) < t.K:
+			// Only heap growth charges the budget; steady-state replacement
+			// keeps the footprint at K.
+			if err := t.acct.charge(1); err != nil {
+				return err
+			}
 			h.push(topKItem{score: s, seq: seq, tuple: tup})
 		case s > h[0].score:
 			h[0] = topKItem{score: s, seq: seq, tuple: tup}
@@ -167,5 +188,6 @@ func (t *TopK) Next() (relation.Tuple, bool, error) {
 // Close implements Operator.
 func (t *TopK) Close() error {
 	t.out = nil
+	t.acct.releaseAll()
 	return t.In.Close()
 }

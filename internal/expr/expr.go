@@ -213,6 +213,9 @@ func (b Binary) Bind(sch *relation.Schema) (Eval, error) {
 			return relation.Null(), nil
 		}
 		if op.Comparison() {
+			if !lv.Comparable(rv) {
+				return relation.Null(), fmt.Errorf("expr: cannot compare %v against %v", lv, rv)
+			}
 			cmp := lv.Compare(rv)
 			switch op {
 			case OpEq:

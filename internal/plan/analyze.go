@@ -43,8 +43,14 @@ func (ap *AnalyzedPlan) Collector(n *Node) *exec.Analyzed {
 // increment per operator boundary plus a 1-in-32 wall-time sample; the
 // per-query overhead is one small wrapper allocation per plan node.
 func CompileAnalyzed(cat *catalog.Catalog, n *Node) (exec.Operator, *AnalyzedPlan, error) {
+	return CompileAnalyzedLimited(cat, n, nil)
+}
+
+// CompileAnalyzedLimited is CompileAnalyzed plus a shared resource budget
+// wired into every buffering operator (see CompileTracedLimited).
+func CompileAnalyzedLimited(cat *catalog.Catalog, n *Node, budget *exec.Budget) (exec.Operator, *AnalyzedPlan, error) {
 	ap := &AnalyzedPlan{ops: map[*Node]*exec.Analyzed{}}
-	c := &compiler{cat: cat, wrap: func(n *Node, op exec.Operator) exec.Operator {
+	c := &compiler{cat: cat, budget: budget, wrap: func(n *Node, op exec.Operator) exec.Operator {
 		a := exec.Analyze(op)
 		ap.ops[n] = a
 		return a

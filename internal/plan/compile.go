@@ -19,7 +19,20 @@ func Compile(cat *catalog.Catalog, n *Node) (exec.Operator, error) {
 // instrumented operators — e.g. rank-joins whose measured depths are
 // compared against the optimizer's estimates after execution.
 func CompileTraced(cat *catalog.Catalog, n *Node, trace func(*Node, exec.Operator)) (exec.Operator, error) {
-	c := &compiler{cat: cat, trace: trace}
+	return CompileTracedLimited(cat, n, trace, nil)
+}
+
+// CompileLimited compiles like Compile with every buffering operator charged
+// against the shared budget (nil budget compiles the unlimited tree).
+func CompileLimited(cat *catalog.Catalog, n *Node, budget *exec.Budget) (exec.Operator, error) {
+	return CompileTracedLimited(cat, n, nil, budget)
+}
+
+// CompileTracedLimited is CompileTraced plus a shared resource budget wired
+// into every buffering operator (rank-join queues and hash tables, TopK
+// heaps, sorts, hash-join build tables).
+func CompileTracedLimited(cat *catalog.Catalog, n *Node, trace func(*Node, exec.Operator), budget *exec.Budget) (exec.Operator, error) {
+	c := &compiler{cat: cat, trace: trace, budget: budget}
 	return c.compile(n)
 }
 
@@ -30,6 +43,9 @@ type compiler struct {
 	// its parent — the EXPLAIN ANALYZE hook that threads a stats collector
 	// between each pair of operators.
 	wrap func(*Node, exec.Operator) exec.Operator
+	// budget, when set, is installed into every buffering operator so the
+	// whole tree draws from one per-query allowance.
+	budget *exec.Budget
 }
 
 func (c *compiler) compile(n *Node) (exec.Operator, error) {
@@ -70,7 +86,9 @@ func (c *compiler) build(n *Node) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewSort(in, n.SortKeys...), nil
+		s := exec.NewSort(in, n.SortKeys...)
+		s.Budget = c.budget
+		return s, nil
 
 	case OpFilter:
 		in, err := c.compile(n.Input())
@@ -119,7 +137,9 @@ func (c *compiler) build(n *Node) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewTopK(in, n.Score, n.K), nil
+		t := exec.NewTopK(in, n.Score, n.K)
+		t.Budget = c.budget
+		return t, nil
 
 	case OpRankAgg:
 		return exec.NewTASelect(n.TAInputs, n.K)
@@ -166,7 +186,9 @@ func (c *compiler) build(n *Node) (exec.Operator, error) {
 		if len(n.EqPreds) == 0 {
 			return nil, fmt.Errorf("plan: hash join without equi-predicate")
 		}
-		return exec.NewHashJoin(l, r, n.EqPreds[0].L, n.EqPreds[0].R, n.residualAfterPrimary()), nil
+		hj := exec.NewHashJoin(l, r, n.EqPreds[0].L, n.EqPreds[0].R, n.residualAfterPrimary())
+		hj.Budget = c.budget
+		return hj, nil
 
 	case OpMergeJoin:
 		l, r, err := c.children(n)
@@ -194,6 +216,7 @@ func (c *compiler) build(n *Node) (exec.Operator, error) {
 		h.SizeHintL = int(n.EstDL)
 		h.SizeHintR = int(n.EstDR)
 		h.QueueHint = int(n.Sel * n.EstDL * n.EstDR)
+		h.Budget = c.budget
 		return h, nil
 
 	case OpNRJN:
@@ -203,6 +226,7 @@ func (c *compiler) build(n *Node) (exec.Operator, error) {
 		}
 		nr := exec.NewNRJN(l, r, n.LScore, n.RScore, n.fullJoinPred())
 		nr.QueueHint = int(n.Sel * n.EstDL * n.Right().Card)
+		nr.Budget = c.budget
 		return nr, nil
 
 	default:

@@ -117,6 +117,20 @@ func (v Value) AsBool() bool {
 // Numeric reports whether the value is an int or float.
 func (v Value) Numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
 
+// Comparable reports whether Compare is defined for this pair of kinds:
+// anything against NULL, numeric against numeric, otherwise same kind only.
+// Callers evaluating untrusted expressions (constant folding over user SQL)
+// must check this before calling Compare, which panics on cross-kind pairs.
+func (v Value) Comparable(o Value) bool {
+	if v.kind == KindNull || o.kind == KindNull {
+		return true
+	}
+	if v.Numeric() && o.Numeric() {
+		return true
+	}
+	return v.kind == o.kind
+}
+
 // Compare orders two values. NULL sorts before everything; numeric kinds
 // compare by numeric value; strings lexicographically; bools false<true.
 // Comparing a numeric against a non-numeric (or string against bool) panics:
@@ -176,7 +190,7 @@ func (v Value) Equal(o Value) bool {
 	if v.kind == KindNull || o.kind == KindNull {
 		return v.kind == o.kind
 	}
-	if v.Numeric() != o.Numeric() && v.kind != o.kind {
+	if !v.Comparable(o) {
 		return false
 	}
 	return v.Compare(o) == 0

@@ -1,0 +1,158 @@
+package sqlparse
+
+// Fuzz targets for the parser and the plan-cache fingerprint. The invariants:
+//
+//   FuzzParse: any input the parser accepts must survive print-and-reparse —
+//   Render(Parse(sql)) parses again and fingerprints identically. This pins
+//   both directions: the renderer emits only lexable SQL and the parser maps
+//   equivalent texts to one canonical query.
+//
+//   FuzzFingerprint: fingerprinting is deterministic, and the top-k literal
+//   is parameterized out — rewriting k on a bounded query never changes the
+//   fingerprint (the plan cache shares templates across k), while toggling
+//   bounded/unbounded always does (that changes the plan shape).
+//
+// CI runs each target briefly (-fuzztime) as a smoke test; longer local runs
+// just use the same entry points.
+
+import (
+	"math"
+	"testing"
+
+	"rankopt/internal/expr"
+	"rankopt/internal/logical"
+	"rankopt/internal/relation"
+)
+
+// fuzzSeeds are the corpus starting points, spanning every grammar corner:
+// both query forms, joins, filters, weights, grouping, strings, negation.
+var fuzzSeeds = []string{
+	`SELECT * FROM A`,
+	`SELECT * FROM A, B WHERE A.key = B.key ORDER BY A.score + B.score DESC LIMIT 5`,
+	`SELECT A.id AS i FROM A, B WHERE A.key = B.key AND A.id < 10 ORDER BY 0.3 * A.score + 0.7 * B.score DESC LIMIT 3`,
+	`WITH R AS (SELECT A.c1 AS x, rank() OVER (ORDER BY 0.5 * A.score + 0.5 * B.score) AS rank FROM A, B WHERE A.k = B.k) SELECT x, rank FROM R WHERE rank <= 10;`,
+	`SELECT A.key AS k, COUNT(*) AS n, SUM(A.score) AS s FROM A GROUP BY A.key`,
+	`SELECT * FROM A WHERE A.name = 'hello world' OR A.id >= 3 LIMIT 7`,
+	`SELECT * FROM A WHERE -A.x + 2.5 * A.y < 10 ORDER BY A.x DESC`,
+	`SELECT * FROM A WHERE A.x = (1 < 2)`,
+	`SELECT * FROM T1, T2, T3 WHERE T1.key = T2.key AND T2.key = T3.key ORDER BY T1.score + 2 * T2.score + T3.score DESC LIMIT 1`,
+}
+
+// renderable reports whether q contains only constants the SQL subset can
+// spell. Constant folding can manufacture non-finite floats (e.g. overflow
+// in a WHERE conjunct); those queries are valid but have no literal syntax,
+// so the round-trip property does not apply to them.
+func renderable(q *logical.Query) bool {
+	finite := func(e expr.Expr) bool { return !hasNonFinite(e) }
+	for _, f := range q.Filters {
+		if !finite(f) {
+			return false
+		}
+	}
+	for _, s := range q.Select {
+		if !finite(s.E) {
+			return false
+		}
+	}
+	for _, t := range q.Score.Terms {
+		if !finite(t.E) || math.IsInf(t.Weight, 0) || math.IsNaN(t.Weight) {
+			return false
+		}
+	}
+	for _, a := range q.Aggs {
+		if a.Arg != nil && !finite(a.Arg) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasNonFinite walks e looking for Inf/NaN float constants.
+func hasNonFinite(e expr.Expr) bool {
+	switch v := e.(type) {
+	case expr.Const:
+		if v.V.Kind() == relation.KindFloat {
+			f := v.V.AsFloat()
+			return math.IsInf(f, 0) || math.IsNaN(f)
+		}
+		return false
+	case expr.Binary:
+		return hasNonFinite(v.L) || hasNonFinite(v.R)
+	case expr.Neg:
+		return hasNonFinite(v.E)
+	default:
+		return false
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		q, err := Parse(sql)
+		if err != nil {
+			return // rejected inputs are outside the invariant
+		}
+		if !renderable(q) {
+			t.Skip("query contains non-finite folded constants")
+		}
+		out := Render(q)
+		q2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("rendered SQL does not reparse:\n  in:  %q\n  out: %q\n  err: %v", sql, out, err)
+		}
+		fp1, fp2 := Fingerprint(q), Fingerprint(q2)
+		if fp1 != fp2 {
+			t.Fatalf("fingerprint changed across print-and-reparse:\n  in:  %q\n  out: %q\n  fp1: %s\n  fp2: %s", sql, out, fp1, fp2)
+		}
+	})
+}
+
+func FuzzFingerprint(f *testing.F) {
+	for i, s := range fuzzSeeds {
+		f.Add(s, i+1)
+	}
+	f.Fuzz(func(t *testing.T, sql string, k int) {
+		q, err := Parse(sql)
+		if err != nil {
+			return
+		}
+		fp := Fingerprint(q)
+		if again := Fingerprint(q); again != fp {
+			t.Fatalf("fingerprint not deterministic:\n  %s\n  %s", fp, again)
+		}
+		if !renderable(q) {
+			t.Skip("query contains non-finite folded constants")
+		}
+		// Rewrite the top-k literal through the full render+parse path: a
+		// bounded query must keep its fingerprint for any positive k.
+		if q.K > 0 {
+			rewritten := *q
+			rewritten.K = 1 + abs(k)%10000
+			q2, err := Parse(Render(&rewritten))
+			if err != nil {
+				t.Fatalf("k-rewritten SQL does not reparse: %v", err)
+			}
+			if got := Fingerprint(q2); got != fp {
+				t.Fatalf("fingerprint depends on the k literal (k=%d -> k=%d):\n  %s\n  %s",
+					q.K, rewritten.K, fp, got)
+			}
+		} else {
+			// Adding a bound changes the plan shape, so it must change the
+			// fingerprint.
+			bounded := *q
+			bounded.K = 1 + abs(k)%10000
+			if got := Fingerprint(&bounded); got == fp {
+				t.Fatalf("bounded and unbounded queries share a fingerprint: %s", fp)
+			}
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

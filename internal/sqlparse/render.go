@@ -1,0 +1,172 @@
+package sqlparse
+
+// Render is Parse's inverse: it emits a logical.Query back as SQL in the
+// plain SELECT form, such that reparsing the output yields a query with the
+// same Fingerprint. The fuzz targets lean on this round trip — any query the
+// parser accepts must survive print-and-reparse — so the renderer is careful
+// about the lexer's blind spots: float literals keep a decimal point and
+// never use exponent notation, strings are single-quoted verbatim (a parsed
+// string can never contain a quote), and boolean constants (which only arise
+// from constant folding — the grammar has no TRUE/FALSE literal) are spelled
+// as comparisons that fold back to the same constant.
+
+import (
+	"strconv"
+	"strings"
+
+	"rankopt/internal/expr"
+	"rankopt/internal/logical"
+	"rankopt/internal/relation"
+)
+
+// Render emits q as parseable SQL text.
+func Render(q *logical.Query) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	switch {
+	case q.Grouped():
+		// The grouped output schema is group columns followed by aggregates;
+		// the select list mirrors that (interleaving is not recorded).
+		var parts []string
+		for _, g := range q.GroupBy {
+			parts = append(parts, g.String())
+		}
+		for _, a := range q.Aggs {
+			var ab strings.Builder
+			ab.WriteString(a.Func)
+			ab.WriteByte('(')
+			if a.Arg == nil {
+				ab.WriteByte('*')
+			} else {
+				renderExpr(&ab, a.Arg)
+			}
+			ab.WriteString(") AS ")
+			ab.WriteString(a.As)
+			parts = append(parts, ab.String())
+		}
+		b.WriteString(strings.Join(parts, ", "))
+	case len(q.Select) == 0:
+		b.WriteByte('*')
+	default:
+		for i, s := range q.Select {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(&b, s.E)
+			b.WriteString(" AS ")
+			b.WriteString(s.As)
+		}
+	}
+
+	b.WriteString(" FROM ")
+	b.WriteString(strings.Join(q.Tables, ", "))
+
+	var conjs []string
+	for _, j := range q.Joins {
+		conjs = append(conjs, j.L.String()+" = "+j.R.String())
+	}
+	for _, f := range q.Filters {
+		var fb strings.Builder
+		renderExpr(&fb, f)
+		conjs = append(conjs, fb.String())
+	}
+	if len(conjs) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(conjs, " AND "))
+	}
+
+	if q.Grouped() {
+		b.WriteString(" GROUP BY ")
+		for i, g := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+
+	switch {
+	case q.Ranking():
+		b.WriteString(" ORDER BY ")
+		for i, t := range q.Score.Terms {
+			if i > 0 {
+				b.WriteString(" + ")
+			}
+			// Always the explicit "w * (E)" form: a bare compound E would be
+			// re-split into separate addends by the score decomposition.
+			b.WriteString(strconv.FormatFloat(t.Weight, 'f', -1, 64))
+			b.WriteString(" * ")
+			renderExpr(&b, t.E)
+		}
+		b.WriteString(" DESC")
+	case q.OrderBy.Name != "":
+		b.WriteString(" ORDER BY ")
+		b.WriteString(q.OrderBy.String())
+		if q.OrderDesc {
+			b.WriteString(" DESC")
+		}
+	}
+
+	if q.K > 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(q.K))
+	}
+	return b.String()
+}
+
+// renderExpr writes e in fully parenthesized, lexable form.
+func renderExpr(b *strings.Builder, e expr.Expr) {
+	switch v := e.(type) {
+	case expr.ColRef:
+		b.WriteString(v.String())
+	case expr.Const:
+		renderConst(b, v)
+	case expr.Binary:
+		b.WriteByte('(')
+		renderExpr(b, v.L)
+		b.WriteByte(' ')
+		b.WriteString(v.Op.String())
+		b.WriteByte(' ')
+		renderExpr(b, v.R)
+		b.WriteByte(')')
+	case expr.Neg:
+		b.WriteString("(-")
+		renderExpr(b, v.E)
+		b.WriteByte(')')
+	default:
+		// ScoreSum never nests inside another expression; anything else is a
+		// new Expr kind the renderer must learn about. String() at least
+		// keeps the output diagnosable.
+		b.WriteString(e.String())
+	}
+}
+
+// renderConst writes a literal in the form the lexer accepts.
+func renderConst(b *strings.Builder, c expr.Const) {
+	switch c.V.Kind() {
+	case relation.KindInt:
+		b.WriteString(strconv.FormatInt(c.V.AsInt(), 10))
+	case relation.KindFloat:
+		// 'f' avoids exponent notation (unlexable); the appended ".0" keeps
+		// integral values in the float domain on reparse.
+		s := strconv.FormatFloat(c.V.AsFloat(), 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		b.WriteString(s)
+	case relation.KindString:
+		b.WriteByte('\'')
+		b.WriteString(c.V.AsString())
+		b.WriteByte('\'')
+	case relation.KindBool:
+		// No boolean literal exists; these comparisons fold back to the same
+		// constant during WHERE simplification.
+		if c.V.AsBool() {
+			b.WriteString("(1 = 1)")
+		} else {
+			b.WriteString("(1 = 0)")
+		}
+	default:
+		b.WriteString(c.String())
+	}
+}
