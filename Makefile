@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench throughput plancache oracle fuzz cancel ci
+.PHONY: all fmt vet build test race bench throughput plancache oracle fuzz cancel trace ci
 
 all: ci
 
@@ -43,6 +43,10 @@ fuzz:
 # Cancellation-under-load latency bench; emits BENCH_cancel.json.
 cancel: build
 	$(GO) run ./cmd/raqo-bench -cancel -out BENCH_cancel.json
+
+# Tracing on/off overhead comparison; emits BENCH_trace.json.
+trace: build
+	$(GO) run ./cmd/raqo-bench -trace -out BENCH_trace.json
 
 ci: fmt vet build race
 	$(GO) test ./internal/oracle -quick

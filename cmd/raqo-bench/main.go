@@ -19,6 +19,10 @@
 //	                           # (p50/p99 cancel-to-return), written to
 //	                           # BENCH_cancel.json; exits nonzero when any
 //	                           # session returns a mistyped error
+//	raqo-bench -trace          # tracing on/off throughput comparison, written
+//	                           # to BENCH_trace.json; exits nonzero when traced
+//	                           # sessions record nothing or slow down past
+//	                           # -maxslowdown
 //
 // The -concurrency mode runs a fixed batch of top-k sessions over one shared
 // catalog at each worker count (-workers, default 1,2,4,8), prints the
@@ -33,6 +37,13 @@
 // values with EXPLAIN ANALYZE instrumentation, compares each rank-join's
 // Section-4 depth estimates against the executed depths, and gates on the
 // mean relative error — CI's depth-model regression smoke test.
+//
+// The -trace mode replays one repeated-query batch through a primed engine
+// with tracing off (the production hot path) and with a span recorder on
+// every session, reporting qps and allocations per query for both sides —
+// CI's tracing-overhead smoke test. The off side is the number to compare
+// across revisions; the gate requires the traced side to actually record
+// spans and decisions and to stay under -maxslowdown.
 package main
 
 import (
@@ -51,7 +62,9 @@ func main() {
 		plancache   = flag.Bool("plancache", false, "run the plan-cache cold/warm sweep")
 		analyze     = flag.Bool("analyze", false, "run the depth-model accuracy sweep")
 		cancelBench = flag.Bool("cancel", false, "run the cancellation-under-load latency benchmark")
+		traceBench  = flag.Bool("trace", false, "run the tracing on/off overhead comparison")
 		maxErr      = flag.Float64("maxerr", 3.0, "fail when the sweep's mean relative depth error exceeds this (-analyze)")
+		maxSlowdown = flag.Float64("maxslowdown", 50.0, "fail when traced sessions are this many times slower than untraced (-trace)")
 		out         = flag.String("out", "", "artifact path (defaults per mode)")
 		rows        = flag.Int("rows", 0, "override rows per table (sweep modes)")
 		queries     = flag.Int("queries", 0, "override sessions per point (sweep modes)")
@@ -93,6 +106,17 @@ func main() {
 		}
 		return
 	}
+	if *traceBench {
+		path := *out
+		if path == "" {
+			path = "BENCH_trace.json"
+		}
+		if err := runTrace(path, *rows, *queries, *maxSlowdown); err != nil {
+			fmt.Fprintln(os.Stderr, "raqo-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *cancelBench {
 		path := *out
 		if path == "" {
@@ -107,7 +131,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Println("usage: raqo-bench all | <experiment>... | -concurrency | -plancache | -analyze")
+		fmt.Println("usage: raqo-bench all | <experiment>... | -concurrency | -plancache | -analyze | -cancel | -trace")
 		fmt.Println("experiments:")
 		for _, e := range bench.All() {
 			fmt.Printf("  %-10s %s\n", e.Name, e.What)
@@ -193,6 +217,30 @@ func runAnalyze(out string, rows int, maxErr float64) error {
 	}
 	fmt.Printf("wrote %s\n", out)
 	return rep.CheckBound(maxErr)
+}
+
+func runTrace(out string, rows, queries int, maxSlowdown float64) error {
+	cfg := bench.DefaultTraceOverheadConfig()
+	if rows > 0 {
+		cfg.Rows = rows
+	}
+	if queries > 0 {
+		cfg.Queries = queries
+	}
+	rep, err := bench.TraceOverhead(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Table())
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return rep.CheckOverhead(maxSlowdown)
 }
 
 func runCancel(out string, rows, sessions int, workers string) error {

@@ -17,8 +17,18 @@
 // hit/miss counters, `\metrics` the engine-wide session counters, and
 // `\analyze <SQL>` executes a statement with EXPLAIN ANALYZE instrumentation
 // (estimated vs actual cardinalities and rank-join depths, per-operator
-// times). The -metrics flag additionally serves /metrics (Prometheus text)
-// and /debug/engine (JSON) over HTTP on the given address.
+// times). The -metrics flag additionally serves /metrics (Prometheus text),
+// /debug/engine (JSON), and /debug/pprof over HTTP on the given address.
+//
+// Tracing: `EXPLAIN TRACE <SQL>` (or the REPL's `\trace <SQL>`, or the
+// -trace flag) runs the statement as a traced session and renders the
+// optimizer decision trace — per-MEMO-entry candidates, plans pruned and
+// why (domination, crossover k*), First-N-Rows protections, interesting
+// orders — followed by the query span tree (parse through per-operator
+// execution). -trace-json additionally writes the session's Chrome
+// trace-event JSON (loadable in Perfetto or chrome://tracing) to a file.
+// -slowquery DUR logs sessions at or over the threshold to stderr as
+// structured records with the SQL, latency, fingerprint, and abort cause.
 //
 // Queries can be bounded: -timeout sets a per-query deadline, and the REPL's
 // `\set limits buffer=N depth=N timeout=DUR` caps buffered tuples, rank-join
@@ -32,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"strconv"
@@ -43,6 +54,7 @@ import (
 	"rankopt/internal/engine"
 	"rankopt/internal/exec"
 	"rankopt/internal/plan"
+	"rankopt/internal/trace"
 	"rankopt/internal/workload"
 )
 
@@ -59,8 +71,11 @@ func main() {
 		stats       = flag.Bool("stats", false, "after execution, report measured vs estimated rank-join depths")
 		noCache     = flag.Bool("nocache", false, "disable the plan cache")
 		analyze     = flag.Bool("analyze", false, "execute with EXPLAIN ANALYZE instrumentation")
-		metricsAddr = flag.String("metrics", "", "serve /metrics and /debug/engine over HTTP on this address (e.g. :8080)")
+		metricsAddr = flag.String("metrics", "", "serve /metrics, /debug/engine, and /debug/pprof over HTTP on this address (e.g. :8080)")
 		timeout     = flag.Duration("timeout", 0, "per-query deadline, e.g. 500ms (0 = none)")
+		traceFlag   = flag.Bool("trace", false, "run traced sessions: print the optimizer decision trace and query span tree")
+		traceJSON   = flag.String("trace-json", "", "write each traced session's Chrome trace-event JSON to this file")
+		slowQuery   = flag.Duration("slowquery", 0, "log sessions at or over this duration to stderr, e.g. 100ms (0 = off)")
 	)
 	flag.Parse()
 
@@ -75,10 +90,15 @@ func main() {
 	}
 	fmt.Printf("loaded tables: %s (%d rows each)\n", strings.Join(names, ", "), *rows)
 
-	eng := engine.NewWithConfig(cat, engine.Config{
+	cfg := engine.Config{
 		Options:          core.Options{DisableRankAware: *baseline},
 		DisablePlanCache: *noCache,
-	})
+	}
+	if *slowQuery > 0 {
+		cfg.SlowQuery = *slowQuery
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	eng := engine.NewWithConfig(cat, cfg)
 	if *metricsAddr != "" {
 		go func() {
 			fmt.Printf("serving /metrics and /debug/engine on %s\n", *metricsAddr)
@@ -91,9 +111,14 @@ func main() {
 	// mutates; the -timeout flag seeds the deadline for one-shot runs too.
 	limits := exec.ResourceLimits{}
 	qTimeout := *timeout
-	run := func(sql string, analyzed bool) {
+	run := func(sql string, analyzed, traced bool) {
+		// `EXPLAIN TRACE <SQL>` is sugar for a traced session.
+		if rest, ok := trimExplainTrace(sql); ok {
+			sql, traced = rest, true
+		}
 		opts := queryOpts{
 			Explain: *explainOnly, Analyze: analyzed, MaxRows: *maxRows, Stats: *stats,
+			Trace: traced, TraceJSON: *traceJSON,
 			Timeout: qTimeout, Limits: limits,
 		}
 		if err := runQuery(os.Stdout, eng, sql, opts); err != nil {
@@ -101,7 +126,7 @@ func main() {
 		}
 	}
 	if flag.NArg() > 0 {
-		run(strings.Join(flag.Args(), " "), *analyze)
+		run(strings.Join(flag.Args(), " "), *analyze, *traceFlag)
 		return
 	}
 	sc := bufio.NewScanner(os.Stdin)
@@ -116,7 +141,9 @@ func main() {
 		case line == `\metrics`:
 			printMetrics(os.Stdout, eng)
 		case strings.HasPrefix(line, `\analyze `):
-			run(strings.TrimSpace(strings.TrimPrefix(line, `\analyze `)), true)
+			run(strings.TrimSpace(strings.TrimPrefix(line, `\analyze `)), true, false)
+		case strings.HasPrefix(line, `\trace `):
+			run(strings.TrimSpace(strings.TrimPrefix(line, `\trace `)), false, true)
 		case strings.HasPrefix(line, `\set limits`):
 			arg := strings.TrimSpace(strings.TrimPrefix(line, `\set limits`))
 			if err := parseLimits(arg, &limits, &qTimeout); err != nil {
@@ -125,7 +152,7 @@ func main() {
 				printLimits(os.Stdout, limits, qTimeout)
 			}
 		default:
-			run(line, *analyze)
+			run(line, *analyze, *traceFlag)
 		}
 		fmt.Print("raqo> ")
 	}
@@ -156,6 +183,12 @@ func printMetrics(w io.Writer, eng *engine.Engine) {
 		m.AvgLatencyMillis, m.P50LatencyMillis, m.P99LatencyMillis)
 	fmt.Fprintf(w, "plan cache: hits=%d misses=%d invalidations=%d entries=%d\n",
 		m.CacheHits, m.CacheMisses, m.CacheInvalidations, m.CacheEntries)
+	fmt.Fprintf(w, "optimizer: runs=%d generated=%d pruned=%d protected=%d traced=%d slow=%d\n",
+		m.OptimizerRuns, m.PlansGenerated, m.PlansPruned, m.PlansProtected,
+		m.TracedQueries, m.SlowQueries)
+	fmt.Fprintf(w, "runtime: goroutines=%d heap=%dKB objects=%d gc=%d pause-p99=%.0fµs\n",
+		m.Runtime.Goroutines, m.Runtime.HeapAllocBytes/1024, m.Runtime.HeapObjects,
+		m.Runtime.GCCycles, m.Runtime.GCPauseP99Micros)
 }
 
 // parseLimits applies a `\set limits` argument string to the session state.
@@ -218,12 +251,27 @@ func printLimits(w io.Writer, limits exec.ResourceLimits, qTimeout time.Duration
 		render(limits.MaxBufferedTuples), render(limits.MaxDepthPerInput), to)
 }
 
+// trimExplainTrace strips a leading `EXPLAIN TRACE ` (any case) from the
+// statement, reporting whether it was present.
+func trimExplainTrace(sql string) (string, bool) {
+	const prefix = "explain trace "
+	if len(sql) > len(prefix) && strings.EqualFold(sql[:len(prefix)], prefix) {
+		return strings.TrimSpace(sql[len(prefix):]), true
+	}
+	return sql, false
+}
+
 // queryOpts selects what runQuery renders beyond the result rows.
 type queryOpts struct {
 	// Explain stops before execution; Analyze executes with per-operator
 	// instrumentation and renders the EXPLAIN ANALYZE tree.
 	Explain, Analyze bool
-	MaxRows          int
+	// Trace runs a traced session and renders the optimizer decision trace
+	// and the query span tree instead of result rows; TraceJSON additionally
+	// writes the Chrome trace-event export to the path.
+	Trace     bool
+	TraceJSON string
+	MaxRows   int
 	// Stats appends the measured-vs-estimated rank-join depth report.
 	Stats bool
 	// Timeout bounds the session wall-clock (0 = none); Limits caps its
@@ -237,6 +285,11 @@ type queryOpts struct {
 // stats, and result rows.
 func runQuery(w io.Writer, eng *engine.Engine, sql string, o queryOpts) error {
 	req := engine.Request{SQL: sql, ExplainOnly: o.Explain, Analyze: o.Analyze, Limits: o.Limits}
+	var tr *trace.Trace
+	if o.Trace || o.TraceJSON != "" {
+		tr = trace.New(sql)
+		req.Trace = tr
+	}
 	if o.Timeout > 0 {
 		req.Deadline = time.Now().Add(o.Timeout)
 	}
@@ -254,6 +307,21 @@ func runQuery(w io.Writer, eng *engine.Engine, sql string, o queryOpts) error {
 		fmt.Fprint(w, plan.FormatAnalyze(resp.Plan, resp.Analysis, true))
 	} else {
 		fmt.Fprint(w, plan.Explain(resp.Plan))
+	}
+	if o.TraceJSON != "" {
+		if err := writeChromeTrace(o.TraceJSON, tr); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", o.TraceJSON)
+	}
+	if o.Trace {
+		// A traced session reports the optimizer's decisions and the span
+		// tree; result rows are beside the point.
+		if resp.OptTrace != nil {
+			fmt.Fprint(w, resp.OptTrace.Format())
+		}
+		fmt.Fprint(w, tr.Tree())
+		return nil
 	}
 	if o.Explain {
 		return nil
@@ -280,4 +348,17 @@ func runQuery(w io.Writer, eng *engine.Engine, sql string, o queryOpts) error {
 	}
 	fmt.Fprintf(w, "(%d rows)\n", len(resp.Tuples))
 	return nil
+}
+
+// writeChromeTrace exports the session's Chrome trace-event JSON.
+func writeChromeTrace(path string, tr *trace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

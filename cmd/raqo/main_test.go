@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -97,6 +100,57 @@ func TestRunQueryAnalyzeThreeWay(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("analyze output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// The traced path: \trace (and EXPLAIN TRACE) on a 3-way rank-join query
+// must render the optimizer decision trace and the query span tree, skip
+// the result rows, and honor -trace-json with a valid Chrome export.
+func TestRunQueryTrace(t *testing.T) {
+	eng := testREPLEngine(t, 3, 1000, 0.02, 21)
+	sql := "SELECT * FROM T1, T2, T3 WHERE T1.key = T2.key AND T2.key = T3.key ORDER BY T1.score + T2.score + T3.score DESC LIMIT 10"
+	jsonPath := filepath.Join(t.TempDir(), "trace.json")
+	var b strings.Builder
+	if err := runQuery(&b, eng, sql, queryOpts{Trace: true, TraceJSON: jsonPath, MaxRows: 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"optimizer decision trace",
+		"interesting orders:",
+		"pruned:",
+		"(First-N-Rows)",
+		"k*=",
+		"trace: SELECT",
+		"execute",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%.800s", want, out)
+		}
+	}
+	if strings.Contains(out, "rows)") {
+		t.Errorf("trace output contains result rows:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Errorf("-trace-json wrote invalid JSON:\n%.200s", data)
+	}
+}
+
+// EXPLAIN TRACE prefix detection must be case-insensitive and leave plain
+// statements alone.
+func TestTrimExplainTrace(t *testing.T) {
+	if got, ok := trimExplainTrace("explain trace SELECT 1"); !ok || got != "SELECT 1" {
+		t.Errorf("trimExplainTrace lowercase = %q, %v", got, ok)
+	}
+	if got, ok := trimExplainTrace("EXPLAIN TRACE  SELECT 1"); !ok || got != "SELECT 1" {
+		t.Errorf("trimExplainTrace uppercase = %q, %v", got, ok)
+	}
+	if _, ok := trimExplainTrace("SELECT * FROM T1"); ok {
+		t.Error("trimExplainTrace matched a plain statement")
 	}
 }
 

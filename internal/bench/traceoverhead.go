@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+
+	"rankopt/internal/engine"
+	"rankopt/internal/trace"
+	"rankopt/internal/workload"
+)
+
+// TraceOverheadConfig parameterizes the tracing-overhead benchmark: one
+// repeated-query batch is replayed through a primed engine twice, first with
+// no trace attached (the production hot path — every span call must collapse
+// to a nil compare) and then with a span recorder on every session (the
+// diagnostic path — fresh single-worker optimization, decision trace, span
+// recording, and analyze instrumentation).
+type TraceOverheadConfig struct {
+	// Tables, Rows, Selectivity, Seed shape the workload.RankedSet catalog.
+	Tables      int     `json:"tables"`
+	Rows        int     `json:"rows"`
+	Selectivity float64 `json:"selectivity"`
+	Seed        int64   `json:"seed"`
+	// Queries is the number of sessions replayed per measurement.
+	Queries int `json:"queries"`
+	// K is the LIMIT of every session's query.
+	K int `json:"k"`
+	// Repeats is how many times each side is measured; the best repeat is
+	// reported (minimum-noise estimator, same as testing.B).
+	Repeats int `json:"repeats"`
+}
+
+// DefaultTraceOverheadConfig is the acceptance-run workload: enough sessions
+// over a cached 3-table catalog that the off side measures the steady-state
+// hot path, not warm-up effects.
+func DefaultTraceOverheadConfig() TraceOverheadConfig {
+	return TraceOverheadConfig{
+		Tables:      3,
+		Rows:        2000,
+		Selectivity: 0.01,
+		Seed:        11,
+		Queries:     128,
+		K:           10,
+		Repeats:     3,
+	}
+}
+
+// TraceOverheadReport is the BENCH_trace.json artifact. The off side is the
+// number to track across revisions — it is the qps every untraced query
+// pays; the on side documents the cost of opting into a traced session
+// (which deliberately re-optimizes fresh and instruments every operator, so
+// it is expected to be several times slower, never free).
+type TraceOverheadReport struct {
+	Config   TraceOverheadConfig `json:"config"`
+	MaxProcs int                 `json:"gomaxprocs"`
+
+	OffMillis float64 `json:"off_elapsed_ms"`
+	OffQPS    float64 `json:"off_queries_per_sec"`
+	// OffAllocs is heap allocations per query with tracing off — the whole
+	// instrumented pipeline must add none (pinned separately by an
+	// AllocsPerRun test in internal/trace).
+	OffAllocs float64 `json:"off_allocs_per_query"`
+
+	OnMillis float64 `json:"on_elapsed_ms"`
+	OnQPS    float64 `json:"on_queries_per_sec"`
+	OnAllocs float64 `json:"on_allocs_per_query"`
+
+	// Slowdown is off QPS over on QPS — how much a traced session costs
+	// relative to the hot path.
+	Slowdown float64 `json:"slowdown"`
+	// SpansPerQuery and DecisionsPerQuery prove the on side really traced:
+	// pipeline+operator spans recorded per session, and optimizer decision
+	// events in one probe session's trace.
+	SpansPerQuery     float64 `json:"spans_per_query"`
+	DecisionsPerQuery int     `json:"decisions_probe"`
+}
+
+// TraceOverhead runs the benchmark: one catalog, one request batch, a primed
+// engine, then best-of-Repeats timed runs with tracing off and on.
+func TraceOverhead(cfg TraceOverheadConfig) (*TraceOverheadReport, error) {
+	if cfg.Tables < 2 {
+		return nil, fmt.Errorf("bench: trace overhead needs at least 2 tables, got %d", cfg.Tables)
+	}
+	if cfg.Repeats < 1 {
+		cfg.Repeats = 1
+	}
+	cat, _ := workload.RankedSet(cfg.Tables, workload.RankedConfig{
+		N: cfg.Rows, Selectivity: cfg.Selectivity, Seed: cfg.Seed,
+	})
+	eng := engine.NewWithConfig(cat, engine.Config{})
+	reqs := throughputQueries(ThroughputConfig{
+		Tables: cfg.Tables, Queries: cfg.Queries, K: cfg.K,
+	})
+	// Untimed warm-up: faults in the catalog and primes the plan cache so the
+	// off side measures pure cache-hit sessions.
+	if err := firstErr(eng.RunAll(reqs, 1)); err != nil {
+		return nil, fmt.Errorf("bench: trace overhead warm-up: %w", err)
+	}
+
+	report := &TraceOverheadReport{Config: cfg, MaxProcs: runtime.GOMAXPROCS(0)}
+	for r := 0; r < cfg.Repeats; r++ {
+		ms, qps, allocs, err := measureBatch(eng, reqs, 1)
+		if err != nil {
+			return nil, fmt.Errorf("bench: trace overhead off repeat %d: %w", r, err)
+		}
+		if qps > report.OffQPS {
+			report.OffMillis, report.OffQPS, report.OffAllocs = ms, qps, allocs
+		}
+	}
+	var spans int
+	for r := 0; r < cfg.Repeats; r++ {
+		// Fresh traces every repeat: a Trace belongs to one session.
+		treqs := make([]engine.Request, len(reqs))
+		traces := make([]*trace.Trace, len(reqs))
+		for i, req := range reqs {
+			traces[i] = trace.New(req.SQL)
+			req.Trace = traces[i]
+			treqs[i] = req
+		}
+		ms, qps, allocs, err := measureBatch(eng, treqs, 1)
+		if err != nil {
+			return nil, fmt.Errorf("bench: trace overhead on repeat %d: %w", r, err)
+		}
+		if qps > report.OnQPS {
+			report.OnMillis, report.OnQPS, report.OnAllocs = ms, qps, allocs
+			spans = 0
+			for _, tr := range traces {
+				spans += tr.Len()
+			}
+		}
+	}
+	if len(reqs) > 0 {
+		report.SpansPerQuery = float64(spans) / float64(len(reqs))
+	}
+	if report.OnQPS > 0 {
+		report.Slowdown = report.OffQPS / report.OnQPS
+	}
+	// One probe session outside the timed runs supplies the decision count.
+	probe := reqs[0]
+	probe.Trace = trace.New(probe.SQL)
+	resp := eng.Run(probe)
+	if resp.Err != nil {
+		return nil, fmt.Errorf("bench: trace overhead probe: %w", resp.Err)
+	}
+	if resp.OptTrace != nil {
+		report.DecisionsPerQuery = len(resp.OptTrace.Decisions()) + resp.OptTrace.TotalCandidates()
+	}
+	return report, nil
+}
+
+// CheckOverhead gates the artifact: both sides must have run, traced
+// sessions must actually record spans and optimizer decisions, and the
+// traced slowdown must stay under the bound (a generous smoke ceiling — the
+// traced path re-optimizes and instruments on purpose, but it must never
+// regress into pathology).
+func (r *TraceOverheadReport) CheckOverhead(maxSlowdown float64) error {
+	if r.OffQPS <= 0 || r.OnQPS <= 0 {
+		return fmt.Errorf("bench: trace overhead measured non-positive qps (off=%.1f on=%.1f)", r.OffQPS, r.OnQPS)
+	}
+	if r.SpansPerQuery <= 0 || r.DecisionsPerQuery <= 0 {
+		return fmt.Errorf("bench: traced sessions recorded nothing (spans/q=%.1f decisions=%d)",
+			r.SpansPerQuery, r.DecisionsPerQuery)
+	}
+	if r.Slowdown > maxSlowdown {
+		return fmt.Errorf("bench: traced sessions %.1fx slower than untraced, bound is %.1fx", r.Slowdown, maxSlowdown)
+	}
+	return nil
+}
+
+// JSON renders the artifact bytes.
+func (r *TraceOverheadReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Table renders the report in the bench text format.
+func (r *TraceOverheadReport) Table() *Table {
+	t := &Table{
+		Title: "Tracing overhead: off vs on",
+		Note: fmt.Sprintf("%d-table ranked workload, %d rows/table, %d sessions, k=%d, best of %d, GOMAXPROCS=%d",
+			r.Config.Tables, r.Config.Rows, r.Config.Queries, r.Config.K, r.Config.Repeats, r.MaxProcs),
+		Columns: []string{"off_qps", "on_qps", "slowdown", "off_allocs/q", "on_allocs/q", "spans/q"},
+	}
+	t.AddRow(r.OffQPS, r.OnQPS, r.Slowdown, r.OffAllocs, r.OnAllocs, r.SpansPerQuery)
+	return t
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// A miniature sweep must measure both sides, show the traced side actually
+// recording spans and decisions, and round-trip its JSON artifact.
+func TestTraceOverheadSmoke(t *testing.T) {
+	cfg := TraceOverheadConfig{
+		Tables: 2, Rows: 500, Selectivity: 0.05, Seed: 3,
+		Queries: 6, K: 5, Repeats: 1,
+	}
+	rep, err := TraceOverhead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OffQPS <= 0 || rep.OnQPS <= 0 {
+		t.Errorf("non-positive QPS (off=%v on=%v)", rep.OffQPS, rep.OnQPS)
+	}
+	if rep.SpansPerQuery <= 0 {
+		t.Error("traced batch recorded no spans")
+	}
+	if rep.DecisionsPerQuery <= 0 {
+		t.Error("probe session recorded no optimizer decisions")
+	}
+	// The smoke gate must pass under any sane bound and fail under an
+	// impossible one.
+	if err := rep.CheckOverhead(1e9); err != nil {
+		t.Errorf("generous bound failed: %v", err)
+	}
+	if err := rep.CheckOverhead(0); err == nil {
+		t.Error("zero bound passed — gate not wired")
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TraceOverheadReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if back.Config.Queries != cfg.Queries || back.SpansPerQuery != rep.SpansPerQuery {
+		t.Error("artifact lost fields in the round trip")
+	}
+	if rep.Table().String() == "" {
+		t.Error("empty table rendering")
+	}
+}

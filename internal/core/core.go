@@ -65,6 +65,11 @@ type Options struct {
 	// 0 or 1 enumerates sequentially; the plans produced are identical
 	// either way, since every memo entry is built by exactly one worker.
 	Workers int
+	// Tracer, when non-nil, observes every enumeration and pruning decision
+	// (see tracer.go). Implementations must be safe for concurrent calls
+	// when Workers > 1; for a deterministic event order run with Workers <=
+	// 1, which the engine does for traced sessions.
+	Tracer Tracer
 }
 
 // Result is the optimizer output.
@@ -85,6 +90,12 @@ type Result struct {
 	PlansKept int
 	// PlansGenerated counts every candidate considered before pruning.
 	PlansGenerated int
+	// PlansPruned counts plans the Section 3.3 property+cost domination
+	// discarded (rejected candidates plus evicted incumbents).
+	PlansPruned int
+	// PlansProtected counts pipelined plans that survived a cheaper blocking
+	// rival only through the First-N-Rows protection.
+	PlansProtected int
 	// InterestingOrders reproduces Table 1 for the query.
 	InterestingOrders []InterestingOrder
 }
@@ -123,7 +134,7 @@ type optimizer struct {
 	tables []*tableInfo
 	byName map[string]*tableInfo
 	memo   map[uint64][]*plan.Node
-	gen    int
+	pc     pruneCounters
 	kmin   float64
 	// equiv groups join columns into equivalence classes; joins holds the
 	// transitive closure of the query's join predicates.
@@ -159,6 +170,7 @@ func Optimize(cat *catalog.Catalog, q *logical.Query, opts Options) (*Result, er
 	o.joins = o.equiv.closure(q.Joins)
 	o.enumerateBase()
 	o.enumerateJoins()
+	o.traceMemoState()
 	best, bestJoin, all, err := o.finish()
 	if err != nil {
 		return nil, err
@@ -168,7 +180,9 @@ func Optimize(cat *catalog.Catalog, q *logical.Query, opts Options) (*Result, er
 		BestJoin:          bestJoin,
 		AllPlans:          all,
 		Memo:              map[string][]*plan.Node{},
-		PlansGenerated:    o.gen,
+		PlansGenerated:    o.pc.gen,
+		PlansPruned:       o.pc.pruned + o.pc.evicted,
+		PlansProtected:    o.pc.protected,
 		InterestingOrders: o.interestingOrders(),
 	}
 	for mask, plans := range o.memo {
@@ -176,6 +190,45 @@ func Optimize(cat *catalog.Catalog, q *logical.Query, opts Options) (*Result, er
 		res.PlansKept += len(plans)
 	}
 	return res, nil
+}
+
+// traceMemoState emits the post-enumeration snapshot to the tracer: the
+// query's interesting order expressions (Table 1) and every plan each MEMO
+// entry retained, in deterministic (level, label) order.
+func (o *optimizer) traceMemoState() {
+	tr := o.opts.Tracer
+	if tr == nil {
+		return
+	}
+	for _, io := range o.interestingOrders() {
+		tr.OnDecision(Decision{
+			Kind: DecisionInterestingOrder,
+			Plan: io.Expr,
+			Note: strings.Join(io.Reasons, "; "),
+		})
+	}
+	masks := make([]uint64, 0, len(o.memo))
+	for mask := range o.memo {
+		masks = append(masks, mask)
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		pi, pj := popcount(masks[i]), popcount(masks[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return o.label(masks[i]) < o.label(masks[j])
+	})
+	for _, mask := range masks {
+		for _, p := range o.memo[mask] {
+			tr.OnDecision(Decision{
+				Kind:  DecisionKept,
+				Level: popcount(mask),
+				Entry: o.label(mask),
+				Plan:  plan.Summary(p),
+				Note:  fmt.Sprintf("props %s; cost %.1f at full output", propsNote(p), p.TotalCost()),
+			})
+		}
+	}
 }
 
 func (o *optimizer) buildTableInfo() error {

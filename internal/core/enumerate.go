@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
@@ -227,13 +228,16 @@ type maskAcc struct {
 	o     *optimizer
 	mask  uint64
 	plans []*plan.Node
-	gen   int
+	pc    pruneCounters
 }
 
 // add applies property + cost pruning to the local plan list.
 func (a *maskAcc) add(cand *plan.Node) {
-	a.gen++
-	a.plans = a.o.insertPruned(a.plans, cand)
+	a.pc.gen++
+	if tr := a.o.opts.Tracer; tr != nil {
+		tr.OnDecision(Decision{Kind: DecisionCandidate, Level: popcount(a.mask), Entry: a.o.label(a.mask)})
+	}
+	a.plans = a.o.insertPruned(a.mask, a.plans, cand, &a.pc)
 }
 
 // enumerateJoins runs the bottom-up DP over table subsets, generating every
@@ -290,7 +294,7 @@ func (o *optimizer) enumerateJoins() {
 			if len(acc.plans) > 0 {
 				o.memo[acc.mask] = acc.plans
 			}
-			o.gen += acc.gen
+			o.pc.merge(acc.pc)
 		}
 	}
 }
@@ -426,6 +430,19 @@ func (o *optimizer) rankJoinCandidates(acc *maskAcc, sub, rest uint64, p1, p2 *p
 	rScore := o.scoreFor(rest)
 	rankedL := o.rankedOf(sub)
 	rankedR := o.rankedOf(rest)
+
+	if tr := o.opts.Tracer; tr != nil {
+		// An interesting ranking-order expression over each input side is
+		// what licenses the rank-join alternatives for this entry (Format
+		// dedups the per-pair repetition).
+		tr.OnDecision(Decision{
+			Kind:  DecisionOrderFired,
+			Level: popcount(mask),
+			Entry: o.label(mask),
+			Plan:  o.scoreFor(mask).String(),
+			Note:  fmt.Sprintf("inputs ordered by %s / %s fire rank-join alternatives", lOrder.Key(), rOrder.Key()),
+		})
+	}
 
 	rankedInput := func(p *plan.Node, ord plan.OrderProp, score expr.ScoreSum) *plan.Node {
 		if p.Props.Order.Covers(ord) {

@@ -45,6 +45,12 @@ func (o *optimizer) finish() (best, bestJoin *plan.Node, all []*plan.Node, err e
 
 	bestCost := math.Inf(1)
 	var finishedAll []*plan.Node
+	type finishedPlan struct {
+		p    *plan.Node
+		cost float64
+		k    float64
+	}
+	var completed []finishedPlan
 	for _, p := range plans {
 		finished := p
 		if !p.Props.Order.Covers(required) {
@@ -70,9 +76,31 @@ func (o *optimizer) finish() (best, bestJoin *plan.Node, all []*plan.Node, err e
 			kEval = float64(o.q.K)
 		}
 		c := finished.Cost(kEval)
+		completed = append(completed, finishedPlan{p: finished, cost: c, k: kEval})
 		if c < bestCost {
 			bestCost = c
 			bestJoin = finished
+		}
+	}
+	if tr := o.opts.Tracer; tr != nil {
+		// The final assembly is where rank-join plans (k-sensitive cost) meet
+		// blocking sort plans (k-constant cost) head on: report every
+		// completed alternative's cost at the query's k, naming the winner as
+		// the rival and attaching the crossover k* for rank/sort pairings.
+		for _, fp := range completed {
+			d := Decision{
+				Kind:  DecisionFinalCost,
+				Entry: "final",
+				Plan:  plan.Summary(fp.p),
+				Note:  fmt.Sprintf("cost %.1f at k=%.0f", fp.cost, fp.k),
+			}
+			if fp.p == bestJoin {
+				d.Note += " (chosen)"
+			} else {
+				d.Rival = plan.Summary(bestJoin)
+				d.CrossoverK = crossoverFor(fp.p, bestJoin)
+			}
+			tr.OnDecision(d)
 		}
 	}
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"rankopt/internal/plan"
@@ -9,12 +10,35 @@ import (
 // costEps tolerates floating-point noise in cost comparisons.
 const costEps = 1e-9
 
+// pruneCounters tallies one enumeration's pruning work: candidates
+// considered, candidates rejected by an existing dominator, existing plans
+// evicted by a stronger candidate, and pipelined plans that a cheaper
+// blocking plan would have removed but for the First-N-Rows protection.
+// Join-level workers each own a private copy merged at the level barrier.
+type pruneCounters struct {
+	gen       int
+	pruned    int
+	evicted   int
+	protected int
+}
+
+// merge folds a worker's counters into the optimizer total.
+func (pc *pruneCounters) merge(other pruneCounters) {
+	pc.gen += other.gen
+	pc.pruned += other.pruned
+	pc.evicted += other.evicted
+	pc.protected += other.protected
+}
+
 // addPlan inserts a candidate into a MEMO entry directly; only the
 // sequential base-level enumeration (and tests) use it — join levels go
 // through per-mask accumulators so workers never touch the shared memo.
 func (o *optimizer) addPlan(mask uint64, cand *plan.Node) {
-	o.gen++
-	o.memo[mask] = o.insertPruned(o.memo[mask], cand)
+	o.pc.gen++
+	if tr := o.opts.Tracer; tr != nil {
+		tr.OnDecision(Decision{Kind: DecisionCandidate, Level: popcount(mask), Entry: o.label(mask)})
+	}
+	o.memo[mask] = o.insertPruned(mask, o.memo[mask], cand, &o.pc)
 }
 
 // insertPruned adds a candidate to a plan list, applying the paper's
@@ -22,40 +46,124 @@ func (o *optimizer) addPlan(mask uint64, cand *plan.Node) {
 // expression has properties at least as strong AND is at most as expensive
 // at every achievable k (Section 3.3). Existing plans dominated by the
 // candidate are evicted. The receiver is only read, so concurrent workers
-// may call this on disjoint lists.
-func (o *optimizer) insertPruned(plans []*plan.Node, cand *plan.Node) []*plan.Node {
+// may call this on disjoint lists; pruning outcomes land in pc and, when a
+// Tracer is attached, as decision events.
+func (o *optimizer) insertPruned(mask uint64, plans []*plan.Node, cand *plan.Node, pc *pruneCounters) []*plan.Node {
 	if o.opts.KeepAllPlans {
 		return append(plans, cand)
 	}
+	tr := o.opts.Tracer
+	candProtected := false
 	for _, p := range plans {
-		if o.dominates(p, cand) {
+		dom, prot := o.dominatesExplained(p, cand)
+		if dom {
+			pc.pruned++
+			if tr != nil {
+				tr.OnDecision(Decision{
+					Kind:       DecisionPruned,
+					Level:      popcount(mask),
+					Entry:      o.label(mask),
+					Plan:       plan.Summary(cand),
+					Rival:      plan.Summary(p),
+					CrossoverK: crossoverFor(cand, p),
+					Note:       o.domNote(p, cand),
+				})
+			}
 			return plans
+		}
+		// The candidate stays in the entry even though p is cheaper at every
+		// achievable k — the First-N-Rows property is doing the protecting.
+		// Count it once per candidate, however many blocking rivals it beat.
+		if prot && !candProtected {
+			candProtected = true
+			pc.protected++
+			if tr != nil {
+				tr.OnDecision(Decision{
+					Kind:  DecisionProtected,
+					Level: popcount(mask),
+					Entry: o.label(mask),
+					Plan:  plan.Summary(cand),
+					Rival: plan.Summary(p),
+					Note:  "pipelined plan kept despite cheaper blocking rival (First-N-Rows)",
+				})
+			}
 		}
 	}
 	kept := make([]*plan.Node, 0, len(plans)+1)
 	for _, p := range plans {
-		if !o.dominates(cand, p) {
-			kept = append(kept, p)
+		dom, prot := o.dominatesExplained(cand, p)
+		if dom {
+			pc.evicted++
+			if tr != nil {
+				tr.OnDecision(Decision{
+					Kind:       DecisionEvicted,
+					Level:      popcount(mask),
+					Entry:      o.label(mask),
+					Plan:       plan.Summary(p),
+					Rival:      plan.Summary(cand),
+					CrossoverK: crossoverFor(p, cand),
+					Note:       o.domNote(cand, p),
+				})
+			}
+			continue
 		}
+		if prot {
+			pc.protected++
+			if tr != nil {
+				tr.OnDecision(Decision{
+					Kind:  DecisionProtected,
+					Level: popcount(mask),
+					Entry: o.label(mask),
+					Plan:  plan.Summary(p),
+					Rival: plan.Summary(cand),
+					Note:  "pipelined plan kept despite cheaper blocking rival (First-N-Rows)",
+				})
+			}
+		}
+		kept = append(kept, p)
 	}
 	return append(kept, cand)
 }
 
-// dominates reports whether plan a makes plan b redundant. Properties must
-// dominate; costs are compared at the two ends of the achievable range of k
-// — kmin (the query's requested answer count, the least any subplan will be
-// asked for) and na (the subplan's full output). Because sort plans are
-// k-constant and rank plans grow monotonically in k, agreement at both
-// endpoints decides the whole range; disagreement is the paper's "keep both"
-// zone around the crossover k*.
+// dominates reports whether plan a makes plan b redundant.
 func (o *optimizer) dominates(a, b *plan.Node) bool {
+	dom, _ := o.dominatesExplained(a, b)
+	return dom
+}
+
+// dominatesExplained reports whether plan a makes plan b redundant, and —
+// when it does not — whether b survived *only* through the First-N-Rows
+// protection (a wins on cost at every achievable k and on every property
+// except b's Pipelined flag). Properties must dominate; costs are compared
+// at the two ends of the achievable range of k — kmin (the query's
+// requested answer count, the least any subplan will be asked for) and na
+// (the subplan's full output). Because sort plans are k-constant and rank
+// plans grow monotonically in k, agreement at both endpoints decides the
+// whole range; disagreement is the paper's "keep both" zone around the
+// crossover k*.
+func (o *optimizer) dominatesExplained(a, b *plan.Node) (dom, protected bool) {
 	pa, pb := a.Props, b.Props
 	if o.opts.DisablePipelineProtection {
 		pa.Pipelined, pb.Pipelined = true, true
 	}
-	if !pa.Dominates(pb) {
-		return false
+	if pa.Dominates(pb) {
+		return o.costDominates(a, b), false
 	}
+	// Props failed: did only b's Pipelined flag save it? (Moot when the
+	// protection is ablated away — both flags were already forced true.)
+	if o.opts.DisablePipelineProtection || !pb.Pipelined || pa.Pipelined {
+		return false, false
+	}
+	pa.Pipelined, pb.Pipelined = true, true
+	if pa.Dominates(pb) && o.costDominates(a, b) {
+		return false, true
+	}
+	return false, false
+}
+
+// costDominates reports a at most as expensive as b at both endpoints of
+// the achievable k range.
+func (o *optimizer) costDominates(a, b *plan.Node) bool {
 	na := math.Max(a.Card, b.Card)
 	if a.Cost(na) > b.Cost(na)+costEps {
 		return false
@@ -66,6 +174,26 @@ func (o *optimizer) dominates(a, b *plan.Node) bool {
 		}
 	}
 	return true
+}
+
+// domNote renders the reason a dominated b, for decision traces.
+func (o *optimizer) domNote(a, b *plan.Node) string {
+	na := math.Max(a.Card, b.Card)
+	k := na
+	if o.kmin > 0 && o.kmin < na {
+		k = o.kmin
+	}
+	return fmt.Sprintf("dominated: props %s >= %s; cost %.1f<=%.1f at k=%.0f",
+		propsNote(a), propsNote(b), a.Cost(k), b.Cost(k), k)
+}
+
+// propsNote is the compact property rendering decision traces use.
+func propsNote(n *plan.Node) string {
+	s := n.Props.Order.Key()
+	if n.Props.Pipelined {
+		s += "+pipelined"
+	}
+	return s
 }
 
 // CrossoverK computes k*, the number of requested results at which a

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rankopt/internal/plan"
+	"rankopt/internal/sqlparse"
+	"rankopt/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// tracedOptimize runs one traced optimization over the seeded ranked
+// workload and returns the result with its decision trace.
+func tracedOptimize(t *testing.T, m int, sql string) (*Result, *DecisionTrace) {
+	t.Helper()
+	cat, _ := workload.RankedSet(m, workload.RankedConfig{N: 1000, Selectivity: 0.02, Seed: 21})
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := NewDecisionTrace()
+	res, err := Optimize(cat, q, Options{Tracer: dt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, dt
+}
+
+const threeWaySQL = "SELECT * FROM T1, T2, T3 WHERE T1.key = T2.key AND T2.key = T3.key " +
+	"ORDER BY T1.score + T2.score + T3.score DESC LIMIT 10"
+
+// TestDecisionTraceAcceptance pins the issue's acceptance shape on a 3-way
+// rank-join query: the trace must show at least one plan pruned with its
+// crossover k* and at least one plan protected by the First-N-Rows property,
+// and the event counts must reconcile with the Result counters.
+func TestDecisionTraceAcceptance(t *testing.T) {
+	res, dt := tracedOptimize(t, 3, threeWaySQL)
+
+	if got := dt.TotalCandidates(); got != res.PlansGenerated {
+		t.Errorf("candidate events = %d, Result.PlansGenerated = %d", got, res.PlansGenerated)
+	}
+	pruned := dt.CountKind(DecisionPruned) + dt.CountKind(DecisionEvicted)
+	if pruned != res.PlansPruned {
+		t.Errorf("pruned+evicted events = %d, Result.PlansPruned = %d", pruned, res.PlansPruned)
+	}
+	if prot := dt.CountKind(DecisionProtected); prot != res.PlansProtected {
+		t.Errorf("protected events = %d, Result.PlansProtected = %d", prot, res.PlansProtected)
+	}
+	if res.PlansProtected < 1 {
+		t.Error("3-way rank-join trace shows no First-N-Rows-protected plan")
+	}
+
+	var prunedWithK, orderFired int
+	for _, d := range dt.Decisions() {
+		switch d.Kind {
+		case DecisionPruned, DecisionEvicted, DecisionFinalCost:
+			if d.CrossoverK > 0 {
+				prunedWithK++
+			}
+		case DecisionOrderFired:
+			orderFired++
+		}
+	}
+	if prunedWithK < 1 {
+		t.Error("trace shows no pruning comparison with a crossover k*")
+	}
+	if orderFired < 1 {
+		t.Error("trace shows no interesting-order expression firing rank-join alternatives")
+	}
+
+	// The rendered tree must surface all of the above to the user.
+	out := dt.Format()
+	for _, want := range []string{
+		"interesting orders:",
+		"level 1:",
+		"level 3:",
+		"pruned:",
+		"protected:",
+		"(First-N-Rows)",
+		"k*=",
+		"final:",
+		"(chosen)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted trace missing %q", want)
+		}
+	}
+}
+
+// TestTracerChangesNothing: attaching a tracer must not alter the chosen
+// plan or the enumeration counters — observation only.
+func TestTracerChangesNothing(t *testing.T) {
+	cat, _ := workload.RankedSet(3, workload.RankedConfig{N: 1000, Selectivity: 0.02, Seed: 21})
+	q, err := sqlparse.Parse(threeWaySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Optimize(cat, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Optimize(cat, q, Options{Tracer: NewDecisionTrace()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Explain(plain.Best) != plan.Explain(traced.Best) {
+		t.Errorf("tracer changed the chosen plan:\n%s\nvs\n%s",
+			plan.Explain(plain.Best), plan.Explain(traced.Best))
+	}
+	if plain.PlansGenerated != traced.PlansGenerated || plain.PlansKept != traced.PlansKept ||
+		plain.PlansPruned != traced.PlansPruned || plain.PlansProtected != traced.PlansProtected {
+		t.Errorf("tracer changed counters: %+v vs gen=%d kept=%d pruned=%d prot=%d",
+			plain, traced.PlansGenerated, traced.PlansKept, traced.PlansPruned, traced.PlansProtected)
+	}
+	if plain.PlansPruned == 0 {
+		t.Error("untraced run reports no pruning — counters not wired")
+	}
+}
+
+// TestDecisionTraceDeterministic: two traced runs of the same query must
+// render byte-identical traces (the EXPLAIN TRACE golden depends on it).
+func TestDecisionTraceDeterministic(t *testing.T) {
+	_, dt1 := tracedOptimize(t, 2, "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 10")
+	_, dt2 := tracedOptimize(t, 2, "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 10")
+	if dt1.Format() != dt2.Format() {
+		t.Error("identical traced runs rendered different traces")
+	}
+}
+
+// TestDecisionTraceGolden pins the full EXPLAIN TRACE rendering for a 2-way
+// rank-join query against testdata/decision_trace_2way.golden. Regenerate
+// with `go test ./internal/core -run Golden -update` when the optimizer,
+// cost model, or trace format deliberately changes.
+func TestDecisionTraceGolden(t *testing.T) {
+	_, dt := tracedOptimize(t, 2, "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 10")
+	got := dt.Format()
+	path := filepath.Join("testdata", "decision_trace_2way.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("decision trace diverged from golden (rerun with -update if intentional).\ngot %d bytes, want %d bytes", len(got), len(want))
+		// Show the first diverging line to keep failures readable.
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Errorf("first divergence at line %d:\ngot:  %s\nwant: %s", i+1, gl[i], wl[i])
+				break
+			}
+		}
+	}
+}
+
+// TestKeepAllPlansSkipsPruneEvents: with pruning disabled the trace must
+// record candidates but no pruning decisions.
+func TestKeepAllPlansSkipsPruneEvents(t *testing.T) {
+	cat, _ := workload.RankedSet(2, workload.RankedConfig{N: 500, Selectivity: 0.05, Seed: 5})
+	q, err := sqlparse.Parse("SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := NewDecisionTrace()
+	res, err := Optimize(cat, q, Options{KeepAllPlans: true, Tracer: dt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := dt.CountKind(DecisionPruned) + dt.CountKind(DecisionEvicted) + dt.CountKind(DecisionProtected); n != 0 {
+		t.Errorf("KeepAllPlans recorded %d pruning events, want 0", n)
+	}
+	if res.PlansPruned != 0 || res.PlansProtected != 0 {
+		t.Errorf("KeepAllPlans counters: pruned=%d protected=%d, want 0/0", res.PlansPruned, res.PlansProtected)
+	}
+	if dt.TotalCandidates() != res.PlansGenerated {
+		t.Errorf("candidates %d != generated %d", dt.TotalCandidates(), res.PlansGenerated)
+	}
+}

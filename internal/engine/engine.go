@@ -26,6 +26,8 @@ package engine
 import (
 	"context"
 	"fmt"
+	"log/slog"
+	"strconv"
 	"sync"
 	"time"
 
@@ -35,6 +37,7 @@ import (
 	"rankopt/internal/plan"
 	"rankopt/internal/relation"
 	"rankopt/internal/sqlparse"
+	"rankopt/internal/trace"
 )
 
 // Engine serves query sessions against a shared, read-only catalog.
@@ -53,6 +56,10 @@ type Engine struct {
 	// defLimits are the per-session resource limits applied when a request
 	// carries none of its own.
 	defLimits exec.ResourceLimits
+	// logger receives structured engine logs; slowQuery is the slow-query
+	// threshold (0 disables the slow-query log entirely).
+	logger    *slog.Logger
+	slowQuery time.Duration
 }
 
 // Config controls engine construction beyond the per-session optimizer
@@ -75,6 +82,13 @@ type Config struct {
 	AdmissionTimeout time.Duration
 	// DefaultLimits apply to every request that does not set Request.Limits.
 	DefaultLimits exec.ResourceLimits
+	// SlowQuery, when positive, logs every session at least this slow to
+	// Logger: SQL, latency, plan fingerprint, cache hit, row count, rank-join
+	// depths, and the abort cause for failed sessions.
+	SlowQuery time.Duration
+	// Logger receives the structured engine logs. nil falls back to
+	// slog.Default() when SlowQuery is set.
+	Logger *slog.Logger
 }
 
 // New constructs an engine over a loaded catalog with the plan cache
@@ -86,7 +100,11 @@ func New(cat *catalog.Catalog, opts core.Options) *Engine {
 
 // NewWithConfig constructs an engine with explicit configuration.
 func NewWithConfig(cat *catalog.Catalog, cfg Config) *Engine {
-	e := &Engine{cat: cat, opts: cfg.Options, defLimits: cfg.DefaultLimits}
+	e := &Engine{cat: cat, opts: cfg.Options, defLimits: cfg.DefaultLimits,
+		logger: cfg.Logger, slowQuery: cfg.SlowQuery}
+	if e.logger == nil && e.slowQuery > 0 {
+		e.logger = slog.Default()
+	}
 	if !cfg.DisablePlanCache {
 		e.cache = newPlanCache()
 	}
@@ -128,6 +146,14 @@ type Request struct {
 	// budget, per-input depth cap). The zero value applies the engine's
 	// Config.DefaultLimits; a non-zero value replaces them entirely.
 	Limits exec.ResourceLimits
+	// Trace, when non-nil, records the session's pipeline spans (parse →
+	// fingerprint → plan-cache → optimize → compile → execute, with nested
+	// per-operator spans synthesized from the runtime stats) into the given
+	// recorder, and attaches an optimizer decision tracer: the session runs a
+	// fresh single-worker optimization so Response.OptTrace carries a
+	// deterministic pruning explanation even when the plan cache would have
+	// hit. A nil Trace costs exactly one nil compare per stage.
+	Trace *trace.Trace
 }
 
 // RankJoinStat pairs one rank-join operator of the executed plan with its
@@ -160,16 +186,26 @@ type Response struct {
 	// CacheHit reports whether the plan came from the plan cache (at either
 	// the text or the fingerprint level) rather than a fresh optimizer run.
 	CacheHit bool
-	// PlansGenerated and PlansKept report the optimizer's enumeration work.
-	// On a cache hit they replay the counters of the run that built the
-	// cached template.
+	// Fingerprint is the query's canonical plan-cache fingerprint (the top-k
+	// bound parameterized out); empty when parsing failed or a text-level
+	// cache hit skipped fingerprinting.
+	Fingerprint string
+	// PlansGenerated, PlansKept, PlansPruned, and PlansProtected report the
+	// optimizer's enumeration and pruning work. On a cache hit they replay
+	// the counters of the run that built the cached template.
 	PlansGenerated int
 	PlansKept      int
+	PlansPruned    int
+	PlansProtected int
 	// RankJoins holds the measured stats of every rank-join in the plan.
 	RankJoins []RankJoinStat
-	// Analysis maps plan nodes to their runtime operator stats; set only for
-	// Analyze sessions. Render with plan.FormatAnalyze(resp.Plan, resp.Analysis).
+	// Analysis maps plan nodes to their runtime operator stats; set for
+	// Analyze and traced sessions. Render with
+	// plan.FormatAnalyze(resp.Plan, resp.Analysis).
 	Analysis *plan.AnalyzedPlan
+	// OptTrace is the optimizer decision trace of a traced session (see
+	// Request.Trace); render with OptTrace.Format().
+	OptTrace *core.DecisionTrace
 	// Elapsed is the wall time of the whole session.
 	Elapsed time.Duration
 	Err     error
@@ -187,61 +223,138 @@ func rankJoinPredLabel(n *plan.Node) string {
 	return "<no predicate>"
 }
 
+// planInfo is one session's planning outcome: the session-private
+// instantiated tree plus the provenance the Response reports.
+type planInfo struct {
+	root     *plan.Node
+	hit      bool
+	fp       string
+	counters plan.PlanCounters
+}
+
+// countersOf packs an optimizer result's enumeration tallies.
+func countersOf(res *core.Result) plan.PlanCounters {
+	return plan.PlanCounters{
+		Generated: res.PlansGenerated,
+		Kept:      res.PlansKept,
+		Pruned:    res.PlansPruned,
+		Protected: res.PlansProtected,
+	}
+}
+
 // planFor produces a session-private plan for the SQL text, consulting the
 // plan cache when enabled. The returned tree is always a fresh instantiation
 // (never a shared cached tree), rebound to the query's k and annotated with
 // depth hints.
-func (e *Engine) planFor(sql string) (root *plan.Node, hit bool, gen, kept int, err error) {
+func (e *Engine) planFor(sql string) (planInfo, error) {
 	if e.cache == nil {
-		tmpl, g, k, qk, err := e.optimize(sql)
-		if err != nil {
-			return nil, false, 0, 0, err
-		}
-		return tmpl.Instantiate(qk), false, g, k, nil
+		return e.optimizeFresh(sql)
 	}
 	epoch := e.cat.StatsEpoch()
 	// Level 1: exact query text — skips lexing and parsing.
 	if fp, qk, ok := e.cache.lookupText(sql, epoch); ok {
 		if tmpl, ok := e.cache.lookupPlan(fp, epoch); ok {
 			e.cache.hits.Add(1)
-			return tmpl.Instantiate(qk), true, tmpl.PlansGenerated, tmpl.PlansKept, nil
+			return planInfo{root: tmpl.Instantiate(qk), hit: true, fp: fp, counters: tmpl.Counters}, nil
 		}
 	}
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
-		return nil, false, 0, 0, fmt.Errorf("engine: parse: %w", err)
+		return planInfo{}, fmt.Errorf("engine: parse: %w", err)
 	}
 	fp := sqlparse.Fingerprint(q)
 	e.cache.storeText(sql, fp, q.K, epoch)
 	// Level 2: canonical fingerprint — skips optimization.
 	if tmpl, ok := e.cache.lookupPlan(fp, epoch); ok {
 		e.cache.hits.Add(1)
-		return tmpl.Instantiate(q.K), true, tmpl.PlansGenerated, tmpl.PlansKept, nil
+		return planInfo{root: tmpl.Instantiate(q.K), hit: true, fp: fp, counters: tmpl.Counters}, nil
 	}
 	e.cache.misses.Add(1)
 	res, err := core.Optimize(e.cat, q, e.opts)
 	if err != nil {
-		return nil, false, 0, 0, fmt.Errorf("engine: optimize: %w", err)
+		return planInfo{}, fmt.Errorf("engine: optimize: %w", err)
 	}
-	tmpl := plan.NewTemplate(res.Best, q.K, res.PlansGenerated, res.PlansKept)
+	counters := countersOf(res)
+	e.met.observeOptimize(counters)
+	tmpl := plan.NewTemplate(res.Best, q.K, counters)
 	e.cache.storePlan(fp, tmpl, epoch)
-	return tmpl.Instantiate(q.K), false, res.PlansGenerated, res.PlansKept, nil
+	return planInfo{root: tmpl.Instantiate(q.K), fp: fp, counters: counters}, nil
 }
 
-// optimize is the cache-free pipeline: parse and optimize, wrapping the
+// optimizeFresh is the cache-free pipeline: parse and optimize, wrapping the
 // result in a throwaway template so instantiation (clone + depth hints)
 // behaves identically with the cache on or off.
-func (e *Engine) optimize(sql string) (tmpl *plan.Template, gen, kept, qk int, err error) {
+func (e *Engine) optimizeFresh(sql string) (planInfo, error) {
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
-		return nil, 0, 0, 0, fmt.Errorf("engine: parse: %w", err)
+		return planInfo{}, fmt.Errorf("engine: parse: %w", err)
 	}
 	res, err := core.Optimize(e.cat, q, e.opts)
 	if err != nil {
-		return nil, 0, 0, 0, fmt.Errorf("engine: optimize: %w", err)
+		return planInfo{}, fmt.Errorf("engine: optimize: %w", err)
 	}
-	return plan.NewTemplate(res.Best, q.K, res.PlansGenerated, res.PlansKept),
-		res.PlansGenerated, res.PlansKept, q.K, nil
+	counters := countersOf(res)
+	e.met.observeOptimize(counters)
+	tmpl := plan.NewTemplate(res.Best, q.K, counters)
+	return planInfo{root: tmpl.Instantiate(q.K), fp: sqlparse.Fingerprint(q), counters: counters}, nil
+}
+
+// planForTraced is planFor under a span recorder: each stage gets a span,
+// and the optimizer runs fresh — single worker, decision tracer attached —
+// so the returned DecisionTrace is complete and deterministic even when the
+// plan cache holds the query. The fresh template still lands in the cache.
+func (e *Engine) planForTraced(tr *trace.Trace, sql string) (planInfo, *core.DecisionTrace, error) {
+	epoch := e.cat.StatsEpoch()
+	if e.cache != nil {
+		// Record what the cache would have done; the session re-optimizes
+		// regardless so the decision trace exists.
+		ls := tr.Begin("plan-cache", "pipeline")
+		wouldHit := false
+		if fp, _, ok := e.cache.lookupText(sql, epoch); ok {
+			_, wouldHit = e.cache.lookupPlan(fp, epoch)
+		}
+		if wouldHit {
+			tr.Annotate(ls, "would_hit", "true")
+		} else {
+			tr.Annotate(ls, "would_hit", "false")
+		}
+		tr.End(ls)
+	}
+	ps := tr.Begin("parse", "pipeline")
+	q, err := sqlparse.Parse(sql)
+	tr.End(ps)
+	if err != nil {
+		return planInfo{}, nil, fmt.Errorf("engine: parse: %w", err)
+	}
+	fs := tr.Begin("fingerprint", "pipeline")
+	fp := sqlparse.Fingerprint(q)
+	tr.End(fs)
+	dt := core.NewDecisionTrace()
+	opts := e.opts
+	opts.Tracer = dt
+	opts.Workers = 1
+	os := tr.Begin("optimize", "pipeline")
+	res, err := core.Optimize(e.cat, q, opts)
+	if err != nil {
+		tr.End(os)
+		return planInfo{}, nil, fmt.Errorf("engine: optimize: %w", err)
+	}
+	tr.AnnotateInt(os, "plans_generated", int64(res.PlansGenerated))
+	tr.AnnotateInt(os, "plans_kept", int64(res.PlansKept))
+	tr.AnnotateInt(os, "plans_pruned", int64(res.PlansPruned))
+	tr.AnnotateInt(os, "plans_protected", int64(res.PlansProtected))
+	tr.End(os)
+	counters := countersOf(res)
+	e.met.observeOptimize(counters)
+	tmpl := plan.NewTemplate(res.Best, q.K, counters)
+	if e.cache != nil {
+		e.cache.storeText(sql, fp, q.K, epoch)
+		e.cache.storePlan(fp, tmpl, epoch)
+	}
+	is := tr.Begin("instantiate", "pipeline")
+	root := tmpl.Instantiate(q.K)
+	tr.End(is)
+	return planInfo{root: root, fp: fp, counters: counters}, dt, nil
 }
 
 // Run executes one complete query session and never panics on malformed
@@ -279,6 +392,10 @@ func (e *Engine) RunCtx(ctx context.Context, req Request) Response {
 		e.adm.release()
 	}
 	e.met.observe(&resp, req.Analyze)
+	if req.Trace != nil {
+		e.met.traced.Add(1)
+	}
+	e.logSlow(&resp)
 	return resp
 }
 
@@ -296,6 +413,9 @@ func (e *Engine) admit(ctx context.Context) error {
 func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimits) Response {
 	start := time.Now()
 	resp := Response{ID: req.ID, SQL: req.SQL}
+	tr := req.Trace // nil for untraced sessions: every span call no-ops
+	session := tr.Begin("session", "pipeline")
+	defer tr.End(session)
 	fail := func(err error) Response {
 		resp.Err = err
 		resp.Elapsed = time.Since(start)
@@ -304,14 +424,24 @@ func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimit
 	if err := exec.CtxErr(ctx); err != nil {
 		return fail(err)
 	}
-	root, hit, gen, kept, err := e.planFor(req.SQL)
+	var pi planInfo
+	var err error
+	if tr != nil {
+		pi, resp.OptTrace, err = e.planForTraced(tr, req.SQL)
+	} else {
+		pi, err = e.planFor(req.SQL)
+	}
 	if err != nil {
 		return fail(err)
 	}
-	resp.Plan = root
-	resp.CacheHit = hit
-	resp.PlansGenerated = gen
-	resp.PlansKept = kept
+	resp.Plan = pi.root
+	resp.CacheHit = pi.hit
+	resp.Fingerprint = pi.fp
+	resp.PlansGenerated = pi.counters.Generated
+	resp.PlansKept = pi.counters.Kept
+	resp.PlansPruned = pi.counters.Pruned
+	resp.PlansProtected = pi.counters.Protected
+	root := pi.root
 	if req.ExplainOnly {
 		resp.Elapsed = time.Since(start)
 		return resp
@@ -323,10 +453,12 @@ func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimit
 	var joins []tracedJoin
 	var op exec.Operator
 	budget := exec.NewBudget(limits)
-	if req.Analyze {
-		// Analyze sessions thread a stats collector between every operator;
-		// the wrappers forward StatsReporter, so the rank-join depth report
-		// below works identically in both modes.
+	cs := tr.Begin("compile", "pipeline")
+	if req.Analyze || tr != nil {
+		// Analyze (and traced) sessions thread a stats collector between
+		// every operator; the wrappers forward StatsReporter, so the
+		// rank-join depth report below works identically in both modes, and
+		// traced sessions synthesize per-operator spans from the collectors.
 		op, resp.Analysis, err = plan.CompileAnalyzedLimited(e.cat, root, budget)
 		if err == nil {
 			root.Walk(func(n *plan.Node) {
@@ -342,10 +474,18 @@ func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimit
 			}
 		}, budget)
 	}
+	tr.End(cs)
 	if err != nil {
 		return fail(fmt.Errorf("engine: compile: %w", err))
 	}
+	es := tr.Begin("execute", "pipeline")
+	execStart := time.Now()
 	tuples, err := exec.CollectCtx(ctx, op)
+	tr.AnnotateInt(es, "tuples", int64(len(tuples)))
+	tr.End(es)
+	if tr != nil && resp.Analysis != nil {
+		addOperatorSpans(tr, es, root, resp.Analysis, execStart)
+	}
 	if err != nil {
 		return fail(fmt.Errorf("engine: execute: %w", err))
 	}
@@ -370,6 +510,43 @@ func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimit
 	}
 	resp.Elapsed = time.Since(start)
 	return resp
+}
+
+// addOperatorSpans synthesizes one span per executed operator from the
+// analyzed plan's runtime stats, after execution finished (the per-tuple
+// path records nothing — the 1-in-32 sampled collectors already ran). Spans
+// land under the execute span on one Chrome lane per plan depth, laid
+// end-to-end from the execute start: durations are real measurements
+// (Open wall time plus the extrapolated Next time), positions are layout.
+func addOperatorSpans(tr *trace.Trace, parent int, root *plan.Node, ap *plan.AnalyzedPlan, execStart time.Time) {
+	cursors := map[int]time.Time{}
+	var walk func(n *plan.Node, depth int)
+	walk = func(n *plan.Node, depth int) {
+		if st, ok := ap.Stats(n); ok {
+			tid := trace.OperatorTID + depth
+			at, seen := cursors[tid]
+			if !seen {
+				at = execStart
+			}
+			dur := time.Duration(st.OpenNanos + st.EstNextNanos())
+			args := []trace.Arg{
+				{Key: "tuples_out", Val: strconv.FormatInt(st.TuplesOut, 10)},
+				{Key: "next_calls", Val: strconv.FormatInt(st.NextCalls, 10)},
+			}
+			if n.Op.IsRankJoin() {
+				args = append(args,
+					trace.Arg{Key: "depth_l", Val: strconv.FormatInt(st.LeftDepth, 10)},
+					trace.Arg{Key: "depth_r", Val: strconv.FormatInt(st.RightDepth, 10)},
+				)
+			}
+			tr.AddSpan(parent, n.Op.String(), "operator", tid, at, dur, args...)
+			cursors[tid] = at.Add(dur)
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
 }
 
 // RunAll fans the requests across the given number of concurrent session

@@ -1,0 +1,67 @@
+package engine
+
+// This file is the engine's structured logging layer: a log/slog-based
+// slow-query log. Sessions at or over Config.SlowQuery land as one WARN
+// record carrying everything an operator needs to triage without re-running
+// the query: the SQL, the latency, the plan-cache fingerprint and hit/miss,
+// the optimizer's enumeration counters, the measured rank-join depths, and —
+// for failed sessions — the abort cause from the robustness taxonomy.
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+
+	"rankopt/internal/exec"
+)
+
+// abortCause classifies a failed session's error by the robustness taxonomy,
+// for logs and dashboards. Empty for nil errors.
+func abortCause(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, exec.ErrDeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, exec.ErrQueryCancelled):
+		return "cancelled"
+	case errors.Is(err, exec.ErrBudgetExceeded):
+		return "budget"
+	case errors.Is(err, ErrAdmissionTimeout):
+		return "admission"
+	default:
+		return "error"
+	}
+}
+
+// logSlow emits the slow-query record when the session qualifies.
+func (e *Engine) logSlow(resp *Response) {
+	if e.slowQuery <= 0 || resp.Elapsed < e.slowQuery || e.logger == nil {
+		return
+	}
+	e.met.slowQueries.Add(1)
+	attrs := make([]slog.Attr, 0, 12)
+	attrs = append(attrs,
+		slog.String("sql", resp.SQL),
+		slog.Duration("elapsed", resp.Elapsed),
+		slog.String("fingerprint", resp.Fingerprint),
+		slog.Bool("cache_hit", resp.CacheHit),
+		slog.Int("rows", len(resp.Tuples)),
+		slog.Int("plans_generated", resp.PlansGenerated),
+		slog.Int("plans_pruned", resp.PlansPruned),
+	)
+	for _, rj := range resp.RankJoins {
+		attrs = append(attrs, slog.Group(rj.Op,
+			slog.String("pred", rj.Pred),
+			slog.Int("depth_l", rj.Stats.LeftDepth),
+			slog.Int("depth_r", rj.Stats.RightDepth),
+		))
+	}
+	if cause := abortCause(resp.Err); cause != "" {
+		attrs = append(attrs,
+			slog.String("abort", cause),
+			slog.String("error", resp.Err.Error()),
+		)
+	}
+	e.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow query", attrs...)
+}

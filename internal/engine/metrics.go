@@ -11,10 +11,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
 
 	"rankopt/internal/exec"
+	"rankopt/internal/plan"
 )
 
 // latencyBucketBounds are the histogram's inclusive upper bounds. The
@@ -59,8 +63,30 @@ type metrics struct {
 	// admissionWaiting is the live admission-queue depth gauge.
 	admissionWaiting atomic.Int64
 
+	// traced counts sessions that carried a span recorder; slowQueries counts
+	// sessions logged by the slow-query log.
+	traced      atomic.Uint64
+	slowQueries atomic.Uint64
+
+	// optRuns..optProtected aggregate the optimizer's enumeration and
+	// pruning work over fresh (non-cache-hit) optimizations, the engine-wide
+	// view of the Section 3.3 pruning rates.
+	optRuns      atomic.Uint64
+	optGenerated atomic.Uint64
+	optPruned    atomic.Uint64
+	optProtected atomic.Uint64
+
 	latencySumNanos atomic.Int64
 	latency         [numLatencyBuckets]atomic.Uint64
+}
+
+// observeOptimize folds one fresh optimizer run's counters into the
+// aggregate pruning-rate metrics.
+func (m *metrics) observeOptimize(c plan.PlanCounters) {
+	m.optRuns.Add(1)
+	m.optGenerated.Add(uint64(c.Generated))
+	m.optPruned.Add(uint64(c.Pruned))
+	m.optProtected.Add(uint64(c.Protected))
 }
 
 // bucketFor maps a session latency to its histogram bucket.
@@ -125,6 +151,17 @@ type Metrics struct {
 	CacheInvalidations uint64 `json:"cache_invalidations"`
 	CacheEntries       int    `json:"cache_entries"`
 
+	TracedQueries uint64 `json:"traced_queries"`
+	SlowQueries   uint64 `json:"slow_queries"`
+
+	// OptimizerRuns..PlansProtected aggregate fresh (non-cached) optimizer
+	// runs: candidates enumerated, discarded by the Section 3.3 pruning, and
+	// pipelined plans kept alive by the First-N-Rows protection.
+	OptimizerRuns  uint64 `json:"optimizer_runs"`
+	PlansGenerated uint64 `json:"plans_generated"`
+	PlansPruned    uint64 `json:"plans_pruned"`
+	PlansProtected uint64 `json:"plans_protected"`
+
 	AvgLatencyMillis float64 `json:"avg_latency_ms"`
 	// P50LatencyMillis and P99LatencyMillis are histogram-quantile estimates:
 	// the upper bound of the bucket containing the quantile (the usual
@@ -132,6 +169,50 @@ type Metrics struct {
 	P50LatencyMillis float64         `json:"p50_latency_ms"`
 	P99LatencyMillis float64         `json:"p99_latency_ms"`
 	LatencyBuckets   []LatencyBucket `json:"latency_buckets"`
+
+	Runtime RuntimeStats `json:"runtime"`
+}
+
+// RuntimeStats is the Go runtime's health snapshot riding along with the
+// engine counters: goroutine count, heap occupancy, and GC behavior
+// (cycle count plus the p99 of the runtime's recent-pause ring buffer).
+type RuntimeStats struct {
+	Goroutines       int     `json:"goroutines"`
+	HeapAllocBytes   uint64  `json:"heap_alloc_bytes"`
+	HeapObjects      uint64  `json:"heap_objects"`
+	GCCycles         uint32  `json:"gc_cycles"`
+	GCPauseP99Micros float64 `json:"gc_pause_p99_us"`
+	GCPauseLastNanos uint64  `json:"gc_pause_last_ns"`
+}
+
+// readRuntimeStats samples the Go runtime. ReadMemStats stops the world
+// briefly; monitoring cadence, not per-query cadence.
+func readRuntimeStats() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rs := RuntimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapObjects:    ms.HeapObjects,
+		GCCycles:       ms.NumGC,
+	}
+	if ms.NumGC > 0 {
+		rs.GCPauseLastNanos = ms.PauseNs[(ms.NumGC+255)%256]
+		n := int(ms.NumGC)
+		if n > len(ms.PauseNs) {
+			n = len(ms.PauseNs)
+		}
+		// PauseNs is a ring holding the most recent 256 pauses; walking back
+		// from index NumGC-1 covers exactly the valid entries.
+		pauses := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			pauses[i] = ms.PauseNs[(int(ms.NumGC)-1-i)%len(ms.PauseNs)]
+		}
+		sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+		idx := (99*n - 1) / 100
+		rs.GCPauseP99Micros = float64(pauses[idx]) / 1e3
+	}
+	return rs
 }
 
 // Snapshot captures the engine-wide counters. Buckets are read without a
@@ -149,6 +230,13 @@ func (e *Engine) Snapshot() Metrics {
 		AdmissionTimeouts: e.met.admissionTimeouts.Load(),
 		AdmissionWaiting:  e.met.admissionWaiting.Load(),
 		InFlight:          e.adm.inFlight(),
+		TracedQueries:     e.met.traced.Load(),
+		SlowQueries:       e.met.slowQueries.Load(),
+		OptimizerRuns:     e.met.optRuns.Load(),
+		PlansGenerated:    e.met.optGenerated.Load(),
+		PlansPruned:       e.met.optPruned.Load(),
+		PlansProtected:    e.met.optProtected.Load(),
+		Runtime:           readRuntimeStats(),
 	}
 	cs := e.CacheStats()
 	m.CacheHits, m.CacheMisses = cs.Hits, cs.Misses
@@ -204,14 +292,23 @@ func quantileBound(m *metrics, total uint64, q float64) float64 {
 
 // DebugMux returns an http.Handler (stdlib ServeMux) exposing the engine:
 //
-//	/metrics      Prometheus-style text counters + latency histogram
-//	/debug/engine the full Metrics snapshot as JSON
+//	/metrics       Prometheus-style text counters + latency histogram
+//	/debug/engine  the full Metrics snapshot as JSON
+//	/debug/pprof/  the Go runtime profiles (CPU, heap, goroutine, block,
+//	               mutex, execution trace) via net/http/pprof — registered
+//	               explicitly so they ride this private mux rather than
+//	               http.DefaultServeMux
 //
 // Mount it on any server, e.g. http.ListenAndServe(addr, eng.DebugMux()).
 func (e *Engine) DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", e.serveMetricsText)
 	mux.HandleFunc("/debug/engine", e.serveDebugJSON)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -232,6 +329,16 @@ func (e *Engine) serveMetricsText(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE raqo_plan_cache_hits_total counter\nraqo_plan_cache_hits_total %d\n", m.CacheHits)
 	fmt.Fprintf(w, "# TYPE raqo_plan_cache_misses_total counter\nraqo_plan_cache_misses_total %d\n", m.CacheMisses)
 	fmt.Fprintf(w, "# TYPE raqo_plan_cache_entries gauge\nraqo_plan_cache_entries %d\n", m.CacheEntries)
+	fmt.Fprintf(w, "# TYPE raqo_traced_queries_total counter\nraqo_traced_queries_total %d\n", m.TracedQueries)
+	fmt.Fprintf(w, "# TYPE raqo_slow_queries_total counter\nraqo_slow_queries_total %d\n", m.SlowQueries)
+	fmt.Fprintf(w, "# TYPE raqo_optimizer_runs_total counter\nraqo_optimizer_runs_total %d\n", m.OptimizerRuns)
+	fmt.Fprintf(w, "# TYPE raqo_optimizer_plans_generated_total counter\nraqo_optimizer_plans_generated_total %d\n", m.PlansGenerated)
+	fmt.Fprintf(w, "# TYPE raqo_optimizer_plans_pruned_total counter\nraqo_optimizer_plans_pruned_total %d\n", m.PlansPruned)
+	fmt.Fprintf(w, "# TYPE raqo_optimizer_plans_protected_total counter\nraqo_optimizer_plans_protected_total %d\n", m.PlansProtected)
+	fmt.Fprintf(w, "# TYPE raqo_goroutines gauge\nraqo_goroutines %d\n", m.Runtime.Goroutines)
+	fmt.Fprintf(w, "# TYPE raqo_heap_alloc_bytes gauge\nraqo_heap_alloc_bytes %d\n", m.Runtime.HeapAllocBytes)
+	fmt.Fprintf(w, "# TYPE raqo_gc_cycles_total counter\nraqo_gc_cycles_total %d\n", m.Runtime.GCCycles)
+	fmt.Fprintf(w, "# TYPE raqo_gc_pause_p99_seconds gauge\nraqo_gc_pause_p99_seconds %g\n", m.Runtime.GCPauseP99Micros/1e6)
 	fmt.Fprintf(w, "# TYPE raqo_query_latency_seconds histogram\n")
 	for _, b := range m.LatencyBuckets {
 		le := "+Inf"

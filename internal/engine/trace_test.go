@@ -1,0 +1,292 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rankopt/internal/core"
+	"rankopt/internal/trace"
+)
+
+const tracedSQL = "SELECT * FROM T1, T2, T3 WHERE T1.key = T2.key AND T2.key = T3.key " +
+	"ORDER BY T1.score + T2.score + T3.score DESC LIMIT 10"
+
+// TestTracedSessionRecordsPipeline: a session with a span recorder must
+// record the full pipeline (parse → fingerprint → optimize → instantiate →
+// compile → execute), synthesize per-operator spans, attach the optimizer
+// decision trace, and export valid Chrome trace-event JSON.
+func TestTracedSessionRecordsPipeline(t *testing.T) {
+	eng := testEngine(t, core.Options{})
+	tr := trace.New(tracedSQL)
+	resp := eng.Run(Request{ID: "traced", SQL: tracedSQL, Trace: tr})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if resp.OptTrace == nil {
+		t.Fatal("traced session returned no optimizer decision trace")
+	}
+	if resp.Fingerprint == "" {
+		t.Error("traced session returned no fingerprint")
+	}
+	if resp.Analysis == nil {
+		t.Error("traced session returned no operator analysis")
+	}
+	if resp.PlansPruned == 0 {
+		t.Error("traced session reports no pruned plans on a 3-way rank join")
+	}
+
+	names := map[string]bool{}
+	var operators int
+	for _, sp := range tr.Spans() {
+		names[sp.Name] = true
+		if sp.Cat == "operator" {
+			operators++
+		}
+	}
+	for _, want := range []string{"session", "parse", "fingerprint", "optimize", "instantiate", "compile", "execute"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span; recorded %v", want, names)
+		}
+	}
+	if operators == 0 {
+		t.Error("trace has no synthesized operator spans")
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("chrome export is not valid JSON:\n%s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) < 9 {
+		t.Errorf("chrome export has %d events, want >= 9 (7 pipeline + operators + meta)", len(doc.TraceEvents))
+	}
+
+	// The decision trace renders the acceptance shape end to end.
+	out := resp.OptTrace.Format()
+	if !strings.Contains(out, "k*=") || !strings.Contains(out, "(First-N-Rows)") {
+		t.Errorf("decision trace missing k* or First-N protection:\n%.600s", out)
+	}
+	if tr.Tree() == "" {
+		t.Error("trace tree rendered empty")
+	}
+}
+
+// TestTracedSessionReportsWouldHit: the traced path re-optimizes for the
+// decision trace but must still report what the plan cache would have done,
+// and must feed the cache so later untraced sessions hit.
+func TestTracedSessionReportsWouldHit(t *testing.T) {
+	eng := testEngine(t, core.Options{})
+	sql := "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 5"
+	if resp := eng.Run(Request{SQL: sql, Trace: trace.New(sql)}); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	// The traced session stored its fresh template: an untraced rerun hits.
+	resp := eng.Run(Request{SQL: sql})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if !resp.CacheHit {
+		t.Error("untraced rerun after traced session missed the plan cache")
+	}
+	// A second traced run records would_hit=true on its plan-cache span.
+	tr := trace.New(sql)
+	if resp := eng.Run(Request{SQL: sql, Trace: tr}); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	var sawWouldHit bool
+	for _, sp := range tr.Spans() {
+		if sp.Name == "plan-cache" {
+			for _, a := range sp.Args {
+				if a.Key == "would_hit" && a.Val == "true" {
+					sawWouldHit = true
+				}
+			}
+		}
+	}
+	if !sawWouldHit {
+		t.Error("second traced session did not record would_hit=true on the plan-cache span")
+	}
+}
+
+// TestUntracedSessionCarriesNoTraceState: the default path must not pay for
+// tracing — no decision trace, no analysis wrappers, no spans anywhere.
+func TestUntracedSessionCarriesNoTraceState(t *testing.T) {
+	eng := testEngine(t, core.Options{})
+	resp := eng.Run(Request{SQL: "SELECT * FROM T1 LIMIT 3"})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if resp.OptTrace != nil || resp.Analysis != nil {
+		t.Error("untraced session carries trace state")
+	}
+	if eng.Snapshot().TracedQueries != 0 {
+		t.Error("untraced session counted as traced")
+	}
+}
+
+// TestSlowQueryLog: sessions over the threshold must land in the structured
+// log with the triage fields, and count in the slow-query metric.
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	eng := testEngineWithConfig(t, Config{
+		SlowQuery: time.Nanosecond, // everything is slow
+		Logger:    slog.New(slog.NewJSONHandler(&buf, nil)),
+	})
+	resp := eng.Run(Request{SQL: tracedSQL})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	line := buf.String()
+	if line == "" {
+		t.Fatal("slow-query log recorded nothing")
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(line, "\n", 2)[0]), &rec); err != nil {
+		t.Fatalf("slow-query log is not JSON: %v\n%s", err, line)
+	}
+	if rec["msg"] != "slow query" {
+		t.Errorf("log msg = %v, want \"slow query\"", rec["msg"])
+	}
+	for _, key := range []string{"sql", "elapsed", "fingerprint", "cache_hit", "rows", "plans_generated"} {
+		if _, ok := rec[key]; !ok {
+			t.Errorf("slow-query record missing %q: %s", key, line)
+		}
+	}
+	if got := eng.Snapshot().SlowQueries; got != 1 {
+		t.Errorf("SlowQueries = %d, want 1", got)
+	}
+}
+
+// TestSlowQueryLogAbortCause: failed sessions log their taxonomy cause.
+func TestSlowQueryLogAbortCause(t *testing.T) {
+	var buf bytes.Buffer
+	eng := testEngineWithConfig(t, Config{
+		SlowQuery: time.Nanosecond,
+		Logger:    slog.New(slog.NewJSONHandler(&buf, nil)),
+	})
+	resp := eng.Run(Request{SQL: tracedSQL, Deadline: time.Now().Add(-time.Second)})
+	if resp.Err == nil {
+		t.Fatal("expired deadline did not fail the session")
+	}
+	if !strings.Contains(buf.String(), `"abort":"deadline"`) {
+		t.Errorf("slow-query record missing abort cause:\n%s", buf.String())
+	}
+}
+
+// TestSlowQueryLogOff: with no threshold nothing is logged even when a
+// logger is configured.
+func TestSlowQueryLogOff(t *testing.T) {
+	var buf bytes.Buffer
+	eng := testEngineWithConfig(t, Config{Logger: slog.New(slog.NewJSONHandler(&buf, nil))})
+	if resp := eng.Run(Request{SQL: "SELECT * FROM T1 LIMIT 3"}); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("slow-query log fired without a threshold:\n%s", buf.String())
+	}
+}
+
+// TestDebugMuxPprofAndRuntime: the debug mux must serve the pprof index and
+// profiles, and /metrics must carry the runtime and optimizer gauges.
+func TestDebugMuxPprofAndRuntime(t *testing.T) {
+	eng := testEngine(t, core.Options{})
+	if resp := eng.Run(Request{SQL: tracedSQL}); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	srv := httptest.NewServer(eng.DebugMux())
+	defer srv.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/goroutine"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	text := body.String()
+	for _, want := range []string{
+		"raqo_goroutines",
+		"raqo_heap_alloc_bytes",
+		"raqo_gc_cycles_total",
+		"raqo_optimizer_runs_total 1",
+		"raqo_optimizer_plans_generated_total",
+		"raqo_optimizer_plans_pruned_total",
+		"raqo_optimizer_plans_protected_total",
+		"raqo_slow_queries_total",
+		"raqo_traced_queries_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	m := eng.Snapshot()
+	if m.Runtime.Goroutines <= 0 || m.Runtime.HeapAllocBytes == 0 {
+		t.Errorf("runtime stats empty: %+v", m.Runtime)
+	}
+	if m.OptimizerRuns != 1 || m.PlansGenerated == 0 || m.PlansPruned == 0 {
+		t.Errorf("optimizer aggregates not wired: %+v", m)
+	}
+}
+
+// TestCachedRunsDoNotRecountOptimizer: plan-cache hits replay counters in
+// the Response but must not inflate the engine-wide optimizer aggregates.
+func TestCachedRunsDoNotRecountOptimizer(t *testing.T) {
+	eng := testEngine(t, core.Options{})
+	sql := "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 5"
+	var gen int
+	for i := 0; i < 3; i++ {
+		resp := eng.Run(Request{SQL: sql})
+		if resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+		gen = resp.PlansGenerated
+	}
+	if gen == 0 {
+		t.Fatal("cache hits stopped replaying optimizer counters")
+	}
+	m := eng.Snapshot()
+	if m.OptimizerRuns != 1 {
+		t.Errorf("OptimizerRuns = %d after 1 miss + 2 hits, want 1", m.OptimizerRuns)
+	}
+	if m.PlansGenerated != uint64(gen) {
+		t.Errorf("PlansGenerated aggregate = %d, want %d (one run)", m.PlansGenerated, gen)
+	}
+}
+
+// testEngineWithConfig mirrors testEngine for explicit configs.
+func testEngineWithConfig(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	eng := testEngine(t, cfg.Options)
+	cfg.Options = eng.opts
+	return NewWithConfig(eng.cat, cfg)
+}

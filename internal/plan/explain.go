@@ -140,3 +140,59 @@ func propsStr(n *Node) string {
 	}
 	return s
 }
+
+// Summary renders a plan in one line, operators in prefix form with compact
+// leaf access paths — the shape optimizer decision traces print when naming
+// the plans a pruning decision compared.
+func Summary(n *Node) string {
+	var b strings.Builder
+	summarize(&b, n)
+	return b.String()
+}
+
+func summarize(b *strings.Builder, n *Node) {
+	b.WriteString(n.Op.String())
+	switch n.Op {
+	case OpSeqScan:
+		fmt.Fprintf(b, "(%s)", n.Table)
+		return
+	case OpIndexScan, OpIndexRange:
+		dir := "asc"
+		if n.IndexDesc {
+			dir = "desc"
+		}
+		name := "?"
+		if n.Index != nil {
+			name = n.Index.Name
+		}
+		fmt.Fprintf(b, "(%s:%s %s)", n.Table, name, dir)
+		return
+	case OpINLJ:
+		b.WriteByte('(')
+		summarize(b, n.Left())
+		name := "?"
+		if n.Index != nil {
+			name = n.Index.Name
+		}
+		fmt.Fprintf(b, ", %s:%s)", n.Table, name)
+		return
+	case OpRankAgg:
+		var tabs []string
+		for _, in := range n.TAInputs {
+			tabs = append(tabs, in.Rel.Name)
+		}
+		fmt.Fprintf(b, "(%s)", strings.Join(tabs, ","))
+		return
+	}
+	if len(n.Children) == 0 {
+		return
+	}
+	b.WriteByte('(')
+	for i, c := range n.Children {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		summarize(b, c)
+	}
+	b.WriteByte(')')
+}

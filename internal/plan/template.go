@@ -12,16 +12,26 @@ type Template struct {
 	root *Node
 	// k is the top-k bound the plan was optimized for (0 = unbounded).
 	k int
-	// PlansGenerated and PlansKept preserve the optimizer's enumeration
-	// counters so cache hits can still report them.
-	PlansGenerated int
-	PlansKept      int
+	// Counters preserve the optimizer's enumeration and pruning work so
+	// cache hits can still report it.
+	Counters PlanCounters
+}
+
+// PlanCounters is one optimizer run's enumeration and pruning tally: plans
+// considered, plans retained across MEMO entries, plans discarded by the
+// Section 3.3 property+cost pruning, and pipelined plans that survived a
+// cost domination only through the First-N-Rows protection.
+type PlanCounters struct {
+	Generated int
+	Kept      int
+	Pruned    int
+	Protected int
 }
 
 // NewTemplate wraps an optimized plan for caching. The caller hands over
 // ownership of root: it must not mutate the tree afterwards.
-func NewTemplate(root *Node, k, plansGenerated, plansKept int) *Template {
-	return &Template{root: root, k: k, PlansGenerated: plansGenerated, PlansKept: plansKept}
+func NewTemplate(root *Node, k int, counters PlanCounters) *Template {
+	return &Template{root: root, k: k, Counters: counters}
 }
 
 // K returns the bound the template was optimized at.

@@ -32,7 +32,7 @@ const templateSQL = "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.scor
 func TestTemplateInstantiateIsolates(t *testing.T) {
 	root, k := optimizeSQL(t, templateSQL)
 	want := plan.Explain(root)
-	tmpl := plan.NewTemplate(root, k, 10, 5)
+	tmpl := plan.NewTemplate(root, k, plan.PlanCounters{Generated: 10, Kept: 5})
 	a := tmpl.Instantiate(k)
 	b := tmpl.Instantiate(k)
 	if a == b {
@@ -96,7 +96,7 @@ func kBearing(n *plan.Node) []int {
 // instance while the template keeps serving its original bound.
 func TestRebindKPatchesBounds(t *testing.T) {
 	root, k := optimizeSQL(t, templateSQL)
-	tmpl := plan.NewTemplate(root, k, 0, 0)
+	tmpl := plan.NewTemplate(root, k, plan.PlanCounters{})
 	re := kBearing(tmpl.Instantiate(12))
 	if len(re) == 0 {
 		t.Fatal("plan has no k-bearing operator to rebind")
@@ -117,7 +117,7 @@ func TestRebindKPatchesBounds(t *testing.T) {
 // pre-sizing.
 func TestInstantiateAnnotatesDepthHints(t *testing.T) {
 	root, k := optimizeSQL(t, templateSQL)
-	inst := plan.NewTemplate(root, k, 0, 0).Instantiate(k)
+	inst := plan.NewTemplate(root, k, plan.PlanCounters{}).Instantiate(k)
 	var sawJoin bool
 	var walk func(n *plan.Node)
 	walk = func(n *plan.Node) {

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// This file exports a recorded trace in the Chrome trace-event format
+// (the "JSON Object Format" of the Trace Event specification): an object
+// with a traceEvents array of complete ("ph":"X") events plus process and
+// thread metadata, loadable in Perfetto or chrome://tracing. Timestamps are
+// microseconds relative to the trace start, which keeps the numbers small
+// and the file stable under clock representation differences.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level JSON object.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromePID is the single synthetic process id of an exported trace.
+const chromePID = 1
+
+// WriteChrome writes the trace as Chrome trace-event JSON. A nil trace
+// writes an empty (but valid) document.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	doc := chromeDoc{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	if t != nil {
+		doc.TraceEvents = make([]chromeEvent, 0, len(t.spans)+2)
+		doc.TraceEvents = append(doc.TraceEvents,
+			chromeEvent{Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
+				Args: map[string]string{"name": "raqo: " + t.label}},
+			chromeEvent{Name: "thread_name", Ph: "M", PID: chromePID, TID: pipelineTID,
+				Args: map[string]string{"name": "session pipeline"}},
+		)
+		for _, sp := range t.spans {
+			ev := chromeEvent{
+				Name: sp.Name,
+				Cat:  sp.Cat,
+				Ph:   "X",
+				Ts:   float64(sp.Start.Sub(t.start).Nanoseconds()) / 1e3,
+				Dur:  float64(sp.Dur.Nanoseconds()) / 1e3,
+				PID:  chromePID,
+				TID:  sp.TID,
+			}
+			if len(sp.Args) > 0 {
+				ev.Args = make(map[string]string, len(sp.Args))
+				for _, a := range sp.Args {
+					ev.Args[a.Key] = a.Val
+				}
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,204 @@
+// Package trace is the per-query tracing subsystem: a span recorder the
+// engine threads through one session's pipeline stages (parse → fingerprint
+// → plan-cache lookup → optimize → compile → execute) plus synthesized
+// per-operator spans derived from the EXPLAIN ANALYZE stats collectors.
+//
+// Two disciplines govern the design:
+//
+//   - Zero overhead when off. A nil *Trace is the "tracing disabled" value;
+//     every method nil-guards, so instrumented code calls Begin/End/Annotate
+//     unconditionally and pays a pointer compare — no allocation, no span
+//     recording — when no trace is attached (pinned by an AllocsPerRun test,
+//     the same discipline as exec's analyze collector).
+//   - Allocation-disciplined when on. Spans live in one growing slice; span
+//     identity is an index, not a pointer; arguments are small key/value
+//     slices, not maps. A traced session costs a handful of slice appends,
+//     never per-tuple work (operator detail rides on the existing sampled
+//     OpStats hooks).
+//
+// A recorded trace renders two ways: an indented text tree for terminals
+// (Tree) and Chrome trace-event JSON (WriteChrome) loadable in Perfetto or
+// chrome://tracing.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Arg is one key/value annotation on a span. Values are strings; use
+// AnnotateInt for counters (it formats without interface boxing surprises).
+type Arg struct {
+	Key, Val string
+}
+
+// Span is one timed region of a traced query session.
+type Span struct {
+	// Name and Cat label the span ("optimize", "stage"; "HRJN", "operator").
+	Name string
+	Cat  string
+	// TID is the Chrome trace lane: lane 1 carries the pipeline stages,
+	// lanes 2+ the per-operator spans (one lane per plan-tree depth).
+	TID int
+	// Parent is the index of the enclosing span (-1 for roots).
+	Parent int
+	// Start and Dur time the span. Synthesized spans (operators) carry
+	// estimated durations derived from sampled stats.
+	Start time.Time
+	Dur   time.Duration
+	// Args are the span's annotations.
+	Args []Arg
+}
+
+// Trace records the spans of one query session. It belongs to a single
+// session and, like the operator tree, is not safe for concurrent use.
+// The nil *Trace is valid and records nothing.
+type Trace struct {
+	label string
+	start time.Time
+	spans []Span
+	// open is the stack of currently open span indices; Begin nests under
+	// the top of the stack.
+	open []int
+}
+
+// pipelineTID is the Chrome lane of the session pipeline stages;
+// OperatorTID is the first lane of the synthesized operator spans.
+const (
+	pipelineTID = 1
+	OperatorTID = 2
+)
+
+// New starts a trace for one query session.
+func New(label string) *Trace {
+	return &Trace{label: label, start: time.Now()}
+}
+
+// Label returns the trace's session label.
+func (t *Trace) Label() string {
+	if t == nil {
+		return ""
+	}
+	return t.label
+}
+
+// Begin opens a span nested under the innermost open span and returns its
+// id. On a nil trace it records nothing and returns -1.
+func (t *Trace) Begin(name, cat string) int {
+	if t == nil {
+		return -1
+	}
+	parent := -1
+	if n := len(t.open); n > 0 {
+		parent = t.open[n-1]
+	}
+	id := len(t.spans)
+	t.spans = append(t.spans, Span{
+		Name: name, Cat: cat, TID: pipelineTID, Parent: parent, Start: time.Now(),
+	})
+	t.open = append(t.open, id)
+	return id
+}
+
+// End closes the span, popping it (and any unclosed children) off the open
+// stack. No-op on a nil trace or an invalid id.
+func (t *Trace) End(id int) {
+	if t == nil || id < 0 || id >= len(t.spans) {
+		return
+	}
+	t.spans[id].Dur = time.Since(t.spans[id].Start)
+	for n := len(t.open); n > 0; n = len(t.open) {
+		top := t.open[n-1]
+		t.open = t.open[:n-1]
+		if top == id {
+			break
+		}
+	}
+}
+
+// Annotate attaches a key/value argument to the span.
+func (t *Trace) Annotate(id int, key, val string) {
+	if t == nil || id < 0 || id >= len(t.spans) {
+		return
+	}
+	t.spans[id].Args = append(t.spans[id].Args, Arg{Key: key, Val: val})
+}
+
+// AnnotateInt attaches an integer argument to the span.
+func (t *Trace) AnnotateInt(id int, key string, v int64) {
+	if t == nil || id < 0 || id >= len(t.spans) {
+		return
+	}
+	t.spans[id].Args = append(t.spans[id].Args, Arg{Key: key, Val: strconv.FormatInt(v, 10)})
+}
+
+// AddSpan records a fully-formed span (the synthesized per-operator spans,
+// whose start and duration are derived from sampled stats rather than
+// measured in place). Returns the span id, or -1 on a nil trace.
+func (t *Trace) AddSpan(parent int, name, cat string, tid int, start time.Time, dur time.Duration, args ...Arg) int {
+	if t == nil {
+		return -1
+	}
+	id := len(t.spans)
+	t.spans = append(t.spans, Span{
+		Name: name, Cat: cat, TID: tid, Parent: parent, Start: start, Dur: dur, Args: args,
+	})
+	return id
+}
+
+// Spans returns the recorded spans in recording order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// Len reports the number of recorded spans (0 on a nil trace).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// Tree renders the trace as an indented text tree: every span under its
+// parent with its duration and annotations.
+func (t *Trace) Tree() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %s\n", t.label)
+	children := make([][]int, len(t.spans))
+	var roots []int
+	for i, sp := range t.spans {
+		if sp.Parent < 0 {
+			roots = append(roots, i)
+		} else {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		}
+	}
+	var walk func(id, depth int)
+	walk = func(id, depth int) {
+		sp := t.spans[id]
+		fmt.Fprintf(&b, "%s%s %s", strings.Repeat("  ", depth+1), sp.Name, sp.Dur.Round(time.Microsecond))
+		if len(sp.Args) > 0 {
+			parts := make([]string, len(sp.Args))
+			for i, a := range sp.Args {
+				parts[i] = a.Key + "=" + a.Val
+			}
+			fmt.Fprintf(&b, " (%s)", strings.Join(parts, " "))
+		}
+		b.WriteByte('\n')
+		for _, c := range children[id] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}

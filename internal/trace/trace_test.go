@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The nil *Trace is the tracing-off value every instrumented call site holds
+// when no trace is attached; the whole point of the design is that those
+// sites pay a nil compare and nothing else. Pin it: zero allocations and
+// zero recorded spans across the full API surface.
+func TestNilTraceRecordsNothingAndZeroAllocs(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(200, func() {
+		id := tr.Begin("stage", "pipeline")
+		tr.Annotate(id, "key", "val")
+		tr.AnnotateInt(id, "count", 42)
+		tr.AddSpan(id, "op", "operator", OperatorTID, time.Time{}, 0)
+		tr.End(id)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-trace path allocates %.1f/op, want exactly 0", allocs)
+	}
+	if tr.Len() != 0 || tr.Spans() != nil || tr.Tree() != "" || tr.Label() != "" {
+		t.Fatal("nil trace must record and render nothing")
+	}
+}
+
+func TestSpanNestingAndTree(t *testing.T) {
+	tr := New("SELECT ... LIMIT 10")
+	root := tr.Begin("session", "pipeline")
+	parse := tr.Begin("parse", "pipeline")
+	tr.End(parse)
+	opt := tr.Begin("optimize", "pipeline")
+	tr.AnnotateInt(opt, "plans_generated", 44)
+	tr.End(opt)
+	tr.End(root)
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	if spans[0].Parent != -1 {
+		t.Errorf("session parent = %d, want -1", spans[0].Parent)
+	}
+	if spans[1].Parent != 0 || spans[2].Parent != 0 {
+		t.Errorf("parse/optimize parents = %d,%d, want 0,0", spans[1].Parent, spans[2].Parent)
+	}
+	tree := tr.Tree()
+	for _, want := range []string{"trace: SELECT ... LIMIT 10", "session", "  parse", "plans_generated=44"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+	// Nesting depth must show in indentation: parse sits under session.
+	if !strings.Contains(tree, "\n    parse") {
+		t.Errorf("parse not indented under session:\n%s", tree)
+	}
+}
+
+// End must tolerate out-of-order closes (a failed stage may leave children
+// open); the open stack pops through them.
+func TestEndPopsUnclosedChildren(t *testing.T) {
+	tr := New("q")
+	root := tr.Begin("session", "pipeline")
+	tr.Begin("child", "pipeline") // never ended
+	tr.End(root)
+	next := tr.Begin("after", "pipeline")
+	if got := tr.Spans()[next].Parent; got != -1 {
+		t.Errorf("span after closed root nested under %d, want -1", got)
+	}
+}
+
+// chromeFile mirrors the trace-event JSON schema for validation.
+type chromeFile struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Cat  string            `json:"cat"`
+		Ph   string            `json:"ph"`
+		Ts   *float64          `json:"ts"`
+		Dur  float64           `json:"dur"`
+		PID  *int              `json:"pid"`
+		TID  *int              `json:"tid"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// The Chrome export must be valid trace-event JSON: a traceEvents array
+// whose duration events carry ph="X", numeric ts/dur, and pid/tid — the
+// fields Perfetto and chrome://tracing require to load the file.
+func TestWriteChromeSchema(t *testing.T) {
+	tr := New("q1")
+	s := tr.Begin("session", "pipeline")
+	p := tr.Begin("parse", "pipeline")
+	tr.End(p)
+	tr.AddSpan(s, "HRJN", "operator", OperatorTID, tr.Spans()[s].Start, 123*time.Microsecond,
+		Arg{Key: "tuples_out", Val: "10"})
+	tr.End(s)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("export is not valid JSON:\n%s", buf.String())
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", f.DisplayTimeUnit)
+	}
+	var complete, meta int
+	for _, ev := range f.TraceEvents {
+		if ev.Ts == nil || ev.PID == nil || ev.TID == nil {
+			t.Fatalf("event %q missing ts/pid/tid", ev.Name)
+		}
+		switch ev.Ph {
+		case "X":
+			complete++
+			if *ev.Ts < 0 {
+				t.Errorf("event %q ts = %v, want >= 0", ev.Name, *ev.Ts)
+			}
+		case "M":
+			meta++
+		default:
+			t.Errorf("event %q has ph = %q, want X or M", ev.Name, ev.Ph)
+		}
+	}
+	if complete != 3 {
+		t.Errorf("export has %d complete events, want 3", complete)
+	}
+	if meta < 2 {
+		t.Errorf("export has %d metadata events, want >= 2 (process + thread names)", meta)
+	}
+	// The synthesized operator span keeps its lane and args.
+	var sawOp bool
+	for _, ev := range f.TraceEvents {
+		if ev.Name == "HRJN" {
+			sawOp = true
+			if *ev.TID != OperatorTID {
+				t.Errorf("operator span tid = %d, want %d", *ev.TID, OperatorTID)
+			}
+			if ev.Args["tuples_out"] != "10" {
+				t.Errorf("operator span args = %v, want tuples_out=10", ev.Args)
+			}
+		}
+	}
+	if !sawOp {
+		t.Error("operator span missing from export")
+	}
+}
+
+// A nil trace still exports a valid (empty) document, so callers can pipe
+// the export unconditionally.
+func TestWriteChromeNil(t *testing.T) {
+	var tr *Trace
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(f.TraceEvents) != 0 {
+		t.Errorf("nil trace exported %d events, want 0", len(f.TraceEvents))
+	}
+}
