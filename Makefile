@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench throughput plancache oracle fuzz cancel trace ci
+.PHONY: all fmt vet build test race bench throughput plancache oracle fuzz cancel trace batch ci
 
 all: ci
 
@@ -47,6 +47,11 @@ cancel: build
 # Tracing on/off overhead comparison; emits BENCH_trace.json.
 trace: build
 	$(GO) run ./cmd/raqo-bench -trace -out BENCH_trace.json
+
+# Batch vs per-tuple executor comparison with tuple-level parity gating;
+# emits BENCH_batch.json and exits nonzero when the two paths diverge.
+batch: build
+	$(GO) run ./cmd/raqo-bench -batch -out BENCH_batch.json
 
 ci: fmt vet build race
 	$(GO) test ./internal/oracle -quick

@@ -23,6 +23,10 @@
 //	                           # to BENCH_trace.json; exits nonzero when traced
 //	                           # sessions record nothing or slow down past
 //	                           # -maxslowdown
+//	raqo-bench -batch          # batch vs per-tuple executor comparison with
+//	                           # tuple-level parity checking, written to
+//	                           # BENCH_batch.json; exits nonzero when the two
+//	                           # executor paths disagree
 //
 // The -concurrency mode runs a fixed batch of top-k sessions over one shared
 // catalog at each worker count (-workers, default 1,2,4,8), prints the
@@ -44,12 +48,20 @@
 // CI's tracing-overhead smoke test. The off side is the number to compare
 // across revisions; the gate requires the traced side to actually record
 // spans and decisions and to stay under -maxslowdown.
+//
+// The -batch mode drains the vectorized operator pipelines (scan, filter,
+// projection, hash join) one tuple per Next and batch-at-a-time over the same
+// inputs, reports the speedups, and gates on exact tuple-level parity between
+// the two executor paths. Speedups are single-threaded ratios, so they remain
+// meaningful at GOMAXPROCS=1; a warning still flags single-CPU runs so the
+// artifact's context is visible in CI logs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -63,6 +75,7 @@ func main() {
 		analyze     = flag.Bool("analyze", false, "run the depth-model accuracy sweep")
 		cancelBench = flag.Bool("cancel", false, "run the cancellation-under-load latency benchmark")
 		traceBench  = flag.Bool("trace", false, "run the tracing on/off overhead comparison")
+		batchBench  = flag.Bool("batch", false, "run the batch vs per-tuple executor comparison")
 		maxErr      = flag.Float64("maxerr", 3.0, "fail when the sweep's mean relative depth error exceeds this (-analyze)")
 		maxSlowdown = flag.Float64("maxslowdown", 50.0, "fail when traced sessions are this many times slower than untraced (-trace)")
 		out         = flag.String("out", "", "artifact path (defaults per mode)")
@@ -117,6 +130,17 @@ func main() {
 		}
 		return
 	}
+	if *batchBench {
+		path := *out
+		if path == "" {
+			path = "BENCH_batch.json"
+		}
+		if err := runBatch(path, *rows); err != nil {
+			fmt.Fprintln(os.Stderr, "raqo-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *cancelBench {
 		path := *out
 		if path == "" {
@@ -131,7 +155,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Println("usage: raqo-bench all | <experiment>... | -concurrency | -plancache | -analyze | -cancel | -trace")
+		fmt.Println("usage: raqo-bench all | <experiment>... | -concurrency | -plancache | -analyze | -cancel | -trace | -batch")
 		fmt.Println("experiments:")
 		for _, e := range bench.All() {
 			fmt.Printf("  %-10s %s\n", e.Name, e.What)
@@ -241,6 +265,31 @@ func runTrace(out string, rows, queries int, maxSlowdown float64) error {
 	}
 	fmt.Printf("wrote %s\n", out)
 	return rep.CheckOverhead(maxSlowdown)
+}
+
+func runBatch(out string, rows int) error {
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintln(os.Stderr, "raqo-bench: warning: GOMAXPROCS=1 — parallel speedups are invisible on this run; batch-vs-tuple ratios are single-threaded and remain valid (artifact is stamped single_cpu)")
+	}
+	cfg := bench.DefaultBatchConfig()
+	if rows > 0 {
+		cfg.Rows = rows
+	}
+	rep, err := bench.BatchExec(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Table())
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	// The parity gate: a divergence between the executor paths fails the run.
+	return rep.CheckParity()
 }
 
 func runCancel(out string, rows, sessions int, workers string) error {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"runtime"
 
 	"rankopt/internal/core"
 	"rankopt/internal/engine"
@@ -55,7 +56,10 @@ type DepthSample struct {
 // AnalyzeReport is the BENCH_analyze.json artifact: every depth sample plus
 // the aggregate accuracy of the depth model over the sweep.
 type AnalyzeReport struct {
-	Config AnalyzeConfig `json:"config"`
+	Config   AnalyzeConfig `json:"config"`
+	MaxProcs int           `json:"gomaxprocs"`
+	// SingleCPU flags runs taken at GOMAXPROCS=1 (see BatchReport.SingleCPU).
+	SingleCPU bool `json:"single_cpu"`
 	// MeanRelErr and MaxRelErr aggregate both sides of every sample (1.0 =
 	// 100% relative error).
 	MeanRelErr float64       `json:"mean_rel_err"`
@@ -86,7 +90,7 @@ func Analyze(cfg AnalyzeConfig) (*AnalyzeReport, error) {
 		N: cfg.Rows, Selectivity: cfg.Selectivity, Seed: cfg.Seed,
 	})
 	eng := engine.New(cat, core.Options{})
-	rep := &AnalyzeReport{Config: cfg}
+	rep := &AnalyzeReport{Config: cfg, MaxProcs: runtime.GOMAXPROCS(0), SingleCPU: runtime.GOMAXPROCS(0) == 1}
 	var errSum float64
 	var errN int
 	for _, k := range cfg.Ks {

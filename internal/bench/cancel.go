@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -51,14 +52,19 @@ func DefaultCancelConfig() CancelConfig {
 // sessions that returned anything other than ErrQueryCancelled — it must be
 // zero.
 type CancelReport struct {
-	Config      CancelConfig `json:"config"`
-	Sessions    int          `json:"sessions"`
-	Mistyped    int          `json:"mistyped_errors"`
-	P50Millis   float64      `json:"p50_cancel_latency_ms"`
-	P99Millis   float64      `json:"p99_cancel_latency_ms"`
-	MaxMillis   float64      `json:"max_cancel_latency_ms"`
-	MeanMillis  float64      `json:"mean_cancel_latency_ms"`
-	TotalMillis float64      `json:"total_elapsed_ms"`
+	Config   CancelConfig `json:"config"`
+	MaxProcs int          `json:"gomaxprocs"`
+	// SingleCPU flags runs taken at GOMAXPROCS=1 — cancel latencies there
+	// include scheduler queuing behind the running query, not just polling
+	// cadence, so tails are expected to stretch (see BatchReport.SingleCPU).
+	SingleCPU   bool    `json:"single_cpu"`
+	Sessions    int     `json:"sessions"`
+	Mistyped    int     `json:"mistyped_errors"`
+	P50Millis   float64 `json:"p50_cancel_latency_ms"`
+	P99Millis   float64 `json:"p99_cancel_latency_ms"`
+	MaxMillis   float64 `json:"max_cancel_latency_ms"`
+	MeanMillis  float64 `json:"mean_cancel_latency_ms"`
+	TotalMillis float64 `json:"total_elapsed_ms"`
 }
 
 // Cancel runs the benchmark: Sessions heavy queries through Workers
@@ -111,7 +117,10 @@ func Cancel(cfg CancelConfig) (*CancelReport, error) {
 	}
 	total := time.Since(start)
 
-	rep := &CancelReport{Config: cfg, Sessions: cfg.Sessions}
+	rep := &CancelReport{
+		Config: cfg, MaxProcs: runtime.GOMAXPROCS(0),
+		SingleCPU: runtime.GOMAXPROCS(0) == 1, Sessions: cfg.Sessions,
+	}
 	for _, m := range mistyped {
 		if m {
 			rep.Mistyped++

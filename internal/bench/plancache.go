@@ -67,9 +67,11 @@ type PlanCachePoint struct {
 
 // PlanCacheReport is the BENCH_plancache.json artifact.
 type PlanCacheReport struct {
-	Config   PlanCacheConfig  `json:"config"`
-	MaxProcs int              `json:"gomaxprocs"`
-	Points   []PlanCachePoint `json:"points"`
+	Config   PlanCacheConfig `json:"config"`
+	MaxProcs int             `json:"gomaxprocs"`
+	// SingleCPU flags runs taken at GOMAXPROCS=1 (see BatchReport.SingleCPU).
+	SingleCPU bool             `json:"single_cpu"`
+	Points    []PlanCachePoint `json:"points"`
 	// CacheStats snapshots the warm engine's counters after the sweep, as
 	// evidence the warm numbers really were served from the cache.
 	CacheHits          uint64 `json:"cache_hits"`
@@ -133,7 +135,7 @@ func PlanCache(cfg PlanCacheConfig) (*PlanCacheReport, error) {
 	if err := firstErr(warm.RunAll(reqs, 1)); err != nil {
 		return nil, fmt.Errorf("bench: plancache cache priming: %w", err)
 	}
-	report := &PlanCacheReport{Config: cfg, MaxProcs: runtime.GOMAXPROCS(0)}
+	report := &PlanCacheReport{Config: cfg, MaxProcs: runtime.GOMAXPROCS(0), SingleCPU: runtime.GOMAXPROCS(0) == 1}
 	for _, w := range cfg.Workers {
 		pt := PlanCachePoint{Workers: w, Queries: len(reqs)}
 		var err error

@@ -31,6 +31,7 @@ func All() []Experiment {
 		{"taplan", "Ablation: Fagin-TA plan vs optimizer's winner", AblationRankAggregate},
 		{"throughput", "Concurrent session throughput at 1/2/4/8 workers", ThroughputExperiment},
 		{"plancache", "Plan cache: cold vs warm throughput and allocations", PlanCacheExperiment},
+		{"batch", "Batch vs per-tuple execution on scan/filter/project/hash-join", BatchExecExperiment},
 	}
 }
 

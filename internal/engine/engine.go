@@ -60,6 +60,7 @@ type Engine struct {
 	// threshold (0 disables the slow-query log entirely).
 	logger    *slog.Logger
 	slowQuery time.Duration
+	perTuple  bool
 }
 
 // Config controls engine construction beyond the per-session optimizer
@@ -89,6 +90,12 @@ type Config struct {
 	// Logger receives the structured engine logs. nil falls back to
 	// slog.Default() when SlowQuery is set.
 	Logger *slog.Logger
+	// PerTupleExec runs the scalar reference executor: plan roots drain one
+	// tuple per Next instead of batch-at-a-time, and compilation selects
+	// pre-vectorization operator internals (plan.Config.ScalarRef). Kept as
+	// a baseline for benchmarks and for cross-checking batch results.
+	// Production engines leave it false.
+	PerTupleExec bool
 }
 
 // New constructs an engine over a loaded catalog with the plan cache
@@ -101,7 +108,7 @@ func New(cat *catalog.Catalog, opts core.Options) *Engine {
 // NewWithConfig constructs an engine with explicit configuration.
 func NewWithConfig(cat *catalog.Catalog, cfg Config) *Engine {
 	e := &Engine{cat: cat, opts: cfg.Options, defLimits: cfg.DefaultLimits,
-		logger: cfg.Logger, slowQuery: cfg.SlowQuery}
+		logger: cfg.Logger, slowQuery: cfg.SlowQuery, perTuple: cfg.PerTupleExec}
 	if e.logger == nil && e.slowQuery > 0 {
 		e.logger = slog.Default()
 	}
@@ -468,11 +475,17 @@ func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimit
 			})
 		}
 	} else {
-		op, err = plan.CompileTracedLimited(e.cat, root, func(n *plan.Node, o exec.Operator) {
-			if sr, ok := o.(exec.StatsReporter); ok && n.Op.IsRankJoin() {
-				joins = append(joins, tracedJoin{n, sr})
-			}
-		}, budget)
+		op, err = plan.CompileWith(e.cat, root, plan.Config{
+			Trace: func(n *plan.Node, o exec.Operator) {
+				if sr, ok := o.(exec.StatsReporter); ok && n.Op.IsRankJoin() {
+					joins = append(joins, tracedJoin{n, sr})
+				}
+			},
+			Budget: budget,
+			// PerTupleExec means the whole scalar reference executor, not just
+			// the drain: vectorized internal phases fall back too.
+			ScalarRef: e.perTuple,
+		})
 	}
 	tr.End(cs)
 	if err != nil {
@@ -480,7 +493,12 @@ func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimit
 	}
 	es := tr.Begin("execute", "pipeline")
 	execStart := time.Now()
-	tuples, err := exec.CollectCtx(ctx, op)
+	var tuples []relation.Tuple
+	if e.perTuple {
+		tuples, err = exec.CollectPerTupleCtx(ctx, op)
+	} else {
+		tuples, err = exec.CollectCtx(ctx, op)
+	}
 	tr.AnnotateInt(es, "tuples", int64(len(tuples)))
 	tr.End(es)
 	if tr != nil && resp.Analysis != nil {

@@ -14,7 +14,12 @@ type Filter struct {
 	In   Operator
 	Pred expr.Expr
 
-	ev expr.Eval
+	ev      expr.Eval
+	fast    expr.CmpEval
+	hasFast bool
+	cancel  canceller
+	src     batchSource
+	in      *Batch
 }
 
 // NewFilter constructs a filter.
@@ -37,12 +42,20 @@ func (f *Filter) OpenCtx(ctx context.Context) error {
 		return err
 	}
 	f.ev = ev
+	f.fast, f.hasFast = expr.CompileCmp(f.Pred, f.In.Schema())
+	f.cancel.reset(ctx)
+	f.src.reset(ctx, f.In)
 	return nil
 }
 
 // Next implements Operator.
 func (f *Filter) Next() (relation.Tuple, bool, error) {
 	for {
+		// A highly selective predicate can reject unboundedly many input
+		// tuples between matches, so the reject loop itself must poll.
+		if err := f.cancel.poll(); err != nil {
+			return nil, false, err
+		}
 		t, ok, err := f.In.Next()
 		if err != nil || !ok {
 			return nil, false, err
@@ -53,6 +66,52 @@ func (f *Filter) Next() (relation.Tuple, bool, error) {
 		}
 		if pass {
 			return t, true, nil
+		}
+	}
+}
+
+// NextBatch implements BatchOperator: whole input batches are evaluated per
+// round, through the de-boxed comparison fast path when the predicate
+// compiled to one, and rejects cost a skipped slot instead of another
+// interface call. Rounds continue until at least one tuple survives, with
+// one unconditional context check per round.
+func (f *Filter) NextBatch(out *Batch, max int) (bool, error) {
+	out.Reset()
+	if f.in == nil {
+		f.in = NewBatch(DefaultBatchSize)
+	}
+	for {
+		if err := f.cancel.check(); err != nil {
+			return false, err
+		}
+		ok, err := f.src.next(f.in, max)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+		if f.hasFast {
+			// Same-package access to the batch's backing slice lets the
+			// expr kernel filter straight into it with no per-tuple calls.
+			kept, err := f.fast.FilterAppend(out.tuples, f.in.Tuples())
+			out.tuples = kept
+			if err != nil {
+				return false, err
+			}
+		} else {
+			for _, t := range f.in.Tuples() {
+				pass, err := expr.EvalBool(f.ev, t)
+				if err != nil {
+					return false, err
+				}
+				if pass {
+					out.Append(t)
+				}
+			}
+		}
+		if out.Len() > 0 {
+			return true, nil
 		}
 	}
 }
@@ -76,6 +135,12 @@ type Project struct {
 
 	schema *relation.Schema
 	evals  []expr.Eval
+	// colIdx[i] is the input column index when item i is a bare column
+	// reference (the overwhelmingly common projection), -1 otherwise.
+	colIdx []int
+	src    batchSource
+	in     *Batch
+	arena  tupleArena
 }
 
 // NewProject constructs a projection.
@@ -99,6 +164,7 @@ func (p *Project) OpenCtx(ctx context.Context) error {
 		return err
 	}
 	p.evals = make([]expr.Eval, len(p.Items))
+	p.colIdx = make([]int, len(p.Items))
 	for i, it := range p.Items {
 		ev, err := it.E.Bind(p.In.Schema())
 		if err != nil {
@@ -106,7 +172,13 @@ func (p *Project) OpenCtx(ctx context.Context) error {
 			return err
 		}
 		p.evals[i] = ev
+		if idx, ok := expr.ColIndex(it.E, p.In.Schema()); ok {
+			p.colIdx[i] = idx
+		} else {
+			p.colIdx[i] = -1
+		}
 	}
+	p.src.reset(ctx, p.In)
 	return nil
 }
 
@@ -127,6 +199,36 @@ func (p *Project) Next() (relation.Tuple, bool, error) {
 	return out, true, nil
 }
 
+// NextBatch implements BatchOperator. Output tuples are carved from the
+// arena, so a batch of projections costs one allocation per chunk instead of
+// one per tuple.
+func (p *Project) NextBatch(out *Batch, max int) (bool, error) {
+	out.Reset()
+	if p.in == nil {
+		p.in = NewBatch(DefaultBatchSize)
+	}
+	ok, err := p.src.next(p.in, max)
+	if err != nil || !ok {
+		return false, err
+	}
+	for _, t := range p.in.Tuples() {
+		row := p.arena.alloc(len(p.evals))
+		for i := range p.evals {
+			if ci := p.colIdx[i]; ci >= 0 && ci < len(t) {
+				row[i] = t[ci]
+				continue
+			}
+			v, err := p.evals[i](t)
+			if err != nil {
+				return false, err
+			}
+			row[i] = v
+		}
+		out.Append(row)
+	}
+	return true, nil
+}
+
 // Close implements Operator.
 func (p *Project) Close() error { return p.In.Close() }
 
@@ -135,7 +237,8 @@ type Limit struct {
 	In Operator
 	K  int
 
-	n int
+	n   int
+	src batchSource
 }
 
 // NewLimit constructs a limit.
@@ -153,7 +256,11 @@ func (l *Limit) OpenCtx(ctx context.Context) error {
 		return fmt.Errorf("exec: negative limit %d", l.K)
 	}
 	l.n = 0
-	return OpenOp(ctx, l.In)
+	if err := OpenOp(ctx, l.In); err != nil {
+		return err
+	}
+	l.src.reset(ctx, l.In)
+	return nil
 }
 
 // Next implements Operator.
@@ -167,6 +274,28 @@ func (l *Limit) Next() (relation.Tuple, bool, error) {
 	}
 	l.n++
 	return t, true, nil
+}
+
+// NextBatch implements BatchOperator. Demand is clamped to the tuples still
+// owed, so a batch pull through Limit never overpulls a lazy rank-join child
+// past K — the early termination the cut exists for. Fan-out children may
+// still overshoot the clamp for one round; Truncate discards the excess.
+func (l *Limit) NextBatch(out *Batch, max int) (bool, error) {
+	rem := l.K - l.n
+	if rem <= 0 {
+		out.Reset()
+		return false, nil
+	}
+	if max > rem {
+		max = rem
+	}
+	ok, err := l.src.next(out, max)
+	if err != nil || !ok {
+		return false, err
+	}
+	out.Truncate(rem)
+	l.n += out.Len()
+	return true, nil
 }
 
 // Close implements Operator.
@@ -184,6 +313,9 @@ type RankAssign struct {
 	schema *relation.Schema
 	ev     expr.Eval
 	rank   int64
+	src    batchSource
+	in     *Batch
+	arena  tupleArena
 }
 
 // NewRankAssign constructs the rank annotator.
@@ -213,6 +345,7 @@ func (r *RankAssign) OpenCtx(ctx context.Context) error {
 	}
 	r.ev = ev
 	r.rank = 0
+	r.src.reset(ctx, r.In)
 	return nil
 }
 
@@ -231,6 +364,32 @@ func (r *RankAssign) Next() (relation.Tuple, bool, error) {
 	out = append(out, t...)
 	out = append(out, v, relation.Int(r.rank))
 	return out, true, nil
+}
+
+// NextBatch implements BatchOperator, carving the widened output tuples from
+// the arena.
+func (r *RankAssign) NextBatch(out *Batch, max int) (bool, error) {
+	out.Reset()
+	if r.in == nil {
+		r.in = NewBatch(DefaultBatchSize)
+	}
+	ok, err := r.src.next(r.in, max)
+	if err != nil || !ok {
+		return false, err
+	}
+	for _, t := range r.in.Tuples() {
+		v, err := r.ev(t)
+		if err != nil {
+			return false, err
+		}
+		r.rank++
+		row := r.arena.alloc(len(t) + 2)
+		copy(row, t)
+		row[len(t)] = v
+		row[len(t)+1] = relation.Int(r.rank)
+		out.Append(row)
+	}
+	return true, nil
 }
 
 // Close implements Operator.

@@ -1,0 +1,226 @@
+package exec
+
+import (
+	"math"
+
+	"rankopt/internal/relation"
+)
+
+// floatTable is the hash join's numeric build table: an open-addressing
+// float64 → tuple-group map. Join keys in this engine hash through
+// Value.HashKey, which widens every numeric to float64, so the numeric
+// common case never needs interface-keyed map machinery — and a flat
+// open-addressing layout makes the probe a multiply, a shift, and (almost
+// always) one 8-byte load, cheap enough to inline into the vectorized
+// probe loop.
+//
+// Keys are stored as normalized float64 BIT PATTERNS: -0 collapses into +0
+// and NaNs canonicalize to nanKeyBits before insert, so bit equality is
+// exactly float-key equality for every reachable key and the probe loop
+// runs on integer compares (a NaN-aware float compare costs an extra
+// parity branch per slot on amd64). One more NaN payload, emptyKeyBits, is
+// reserved to mark free slots; no normalized key ever aliases it.
+//
+// Semantics match Go's map over float64 keys exactly: +0 and -0 are one
+// key, and NaN keys are unreachable — NaN probes are dropped before the
+// walk (NaN == NaN is false in a map too), so inserted NaN tuples occupy
+// table space nothing can ever read, exactly like NaN keys in a built-in
+// map. (All NaN build keys share one unreachable group here rather than
+// one slot each; no lookup can observe the difference.)
+//
+// The table grows at ¼ load: unsuccessful probes (the common case on a
+// selective join) then walk ~1.2 slots even with linear-probing
+// clustering; the halved-footprint ½-load variant measured slower on a
+// streaming probe despite its better cache residency.
+const (
+	emptyKeyBits = 0x7FF8000000000001 // reserved NaN payload: empty slot
+	nanKeyBits   = 0x7FF8000000000000 // canonical NaN stored for NaN keys
+)
+
+type floatTable struct {
+	// keys holds normalized key bit patterns, emptyKeyBits when free.
+	keys   []uint64
+	groups [][]relation.Tuple
+	mask   uint64
+	// lo and hi bound the reachable key set — the build side's min-max join
+	// filter. A probe key outside [lo, hi] cannot match, so probe loops skip
+	// its hash and table walk on two float compares; on selective joins
+	// (small build key domain, wide probe domain) that prunes almost every
+	// probe. NaN build keys never widen the bounds: they are unreachable.
+	// Empty table: lo=+Inf, hi=-Inf rejects every probe.
+	lo, hi float64
+	// shift turns a mixed hash into a slot index by keeping its TOP bits
+	// (64 - log2(capacity)). Multiplicative hashing pushes entropy upward,
+	// and float64 encodings of small integers differ only in high mantissa
+	// bits — indexing by the product's low bits would collapse such key sets
+	// into a handful of clusters.
+	shift uint
+	// n counts used slots (distinct keys), for the grow threshold.
+	n int
+}
+
+// maxInitialSlots caps the presized capacity. The hint counts build ROWS,
+// an upper bound on distinct keys that a duplicate-heavy build key overshoots
+// by orders of magnitude — presizing to it directly would allocate and clear
+// megabytes of table for a handful of groups. Past the cap the table doubles
+// as keys actually arrive; each grow reinserts only the distinct keys seen,
+// a negligible slice of a build that large.
+const maxInitialSlots = 1 << 16
+
+// newFloatTable sizes the table for about hint distinct keys.
+func newFloatTable(hint int) *floatTable {
+	capacity, p := 16, 4
+	for capacity < hint*4 && capacity < maxInitialSlots {
+		capacity <<= 1
+		p++
+	}
+	return &floatTable{
+		keys:   emptyKeys(capacity),
+		groups: make([][]relation.Tuple, capacity),
+		mask:   uint64(capacity - 1),
+		shift:  uint(64 - p),
+		lo:     math.Inf(1),
+		hi:     math.Inf(-1),
+	}
+}
+
+// emptyKeys allocates a key array with every slot marked free.
+func emptyKeys(capacity int) []uint64 {
+	keys := make([]uint64, capacity)
+	for i := range keys {
+		keys[i] = emptyKeyBits
+	}
+	return keys
+}
+
+// normBits returns the canonical bit pattern of key f: -0 collapses into
+// +0 and every NaN becomes nanKeyBits, so equal map keys — and only equal
+// map keys, NaN excepted — share a bit pattern.
+func normBits(f float64) uint64 {
+	if f == 0 {
+		return 0
+	}
+	if f != f {
+		return nanKeyBits
+	}
+	return math.Float64bits(f)
+}
+
+// hashBits mixes a normalized key pattern; Fibonacci multiplication after
+// a fold-down spreads the regular patterns of widened integers well.
+// Callers index with the product's high bits (>> shift), never its low
+// bits.
+func hashBits(b uint64) uint64 {
+	b ^= b >> 33
+	return b * 0x9E3779B97F4A7C15
+}
+
+// add files t under key f.
+func (ft *floatTable) add(f float64, t relation.Tuple) {
+	// NaN compares false both ways, so NaN keys leave the filter untouched.
+	if f < ft.lo {
+		ft.lo = f
+	}
+	if f > ft.hi {
+		ft.hi = f
+	}
+	b := normBits(f)
+	i := hashBits(b) >> ft.shift
+	for {
+		k := ft.keys[i]
+		if k == emptyKeyBits {
+			if ft.n*4 >= len(ft.keys) {
+				ft.grow()
+				ft.addNew(b, t)
+				return
+			}
+			ft.keys[i] = b
+			ft.groups[i] = []relation.Tuple{t}
+			ft.n++
+			return
+		}
+		if k == b {
+			ft.groups[i] = append(ft.groups[i], t)
+			return
+		}
+		i = (i + 1) & ft.mask
+	}
+}
+
+// addNew inserts a normalized key after grow, when a slot is known to be
+// claimable without another threshold check.
+func (ft *floatTable) addNew(b uint64, t relation.Tuple) {
+	i := hashBits(b) >> ft.shift
+	for {
+		k := ft.keys[i]
+		if k == emptyKeyBits {
+			ft.keys[i] = b
+			ft.groups[i] = []relation.Tuple{t}
+			ft.n++
+			return
+		}
+		if k == b {
+			ft.groups[i] = append(ft.groups[i], t)
+			return
+		}
+		i = (i + 1) & ft.mask
+	}
+}
+
+// grow doubles the table and reinserts every group.
+func (ft *floatTable) grow() {
+	oldKeys, oldGroups := ft.keys, ft.groups
+	capacity := len(oldKeys) * 2
+	ft.keys = emptyKeys(capacity)
+	ft.groups = make([][]relation.Tuple, capacity)
+	ft.mask = uint64(capacity - 1)
+	ft.shift--
+	ft.n = 0
+	for i, g := range oldGroups {
+		if g == nil {
+			continue
+		}
+		b := oldKeys[i]
+		j := hashBits(b) >> ft.shift
+		for ft.keys[j] != emptyKeyBits {
+			// Distinct old slots hold distinct keys, so this walk only
+			// resolves placement, not equality.
+			j = (j + 1) & ft.mask
+		}
+		ft.keys[j] = b
+		ft.groups[j] = g
+		ft.n++
+	}
+}
+
+// get returns the group under key f, nil when absent or f is NaN (NaN
+// keys never match, as in a built-in map). The min-max filter settles keys
+// outside the reachable range — including every NaN — before hashing.
+func (ft *floatTable) get(f float64) []relation.Tuple {
+	// Negated so NaN (which compares false both ways) is rejected too.
+	if !(f >= ft.lo && f <= ft.hi) {
+		return nil
+	}
+	b := normBits(f)
+	i := hashBits(b) >> ft.shift
+	for {
+		k := ft.keys[i]
+		if k == b {
+			return ft.groups[i]
+		}
+		if k == emptyKeyBits {
+			return nil
+		}
+		i = (i + 1) & ft.mask
+	}
+}
+
+// each calls fn for every (key, group) pair (migration to the generic
+// table).
+func (ft *floatTable) each(fn func(f float64, g []relation.Tuple)) {
+	for i, g := range ft.groups {
+		if g != nil {
+			fn(math.Float64frombits(ft.keys[i]), g)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"rankopt/internal/catalog"
 	"rankopt/internal/expr"
@@ -229,16 +230,44 @@ type HashJoin struct {
 	Residual expr.Expr
 	// Budget, when set, is charged for every tuple held in the build table.
 	Budget *Budget
+	// BuildSizeHint, when positive, presizes the build table (the compiler
+	// sets it from the left input's cardinality estimate) so the build avoids
+	// incremental map growth.
+	BuildSizeHint int
+	// PerTupleBuild selects the scalar reference build: the left input is
+	// drained one Next at a time (polling per tuple), keys are evaluated
+	// through the bound expression, and the table is the interface-keyed
+	// generic map — the executor exactly as it was before vectorization.
+	// The differential oracle and the batch benchmarks run this side against
+	// the vectorized build/probe, which doubles as an independent
+	// implementation check on the open-addressing numeric table.
+	PerTupleBuild bool
 
-	schema  *relation.Schema
-	table   map[any][]relation.Tuple
-	rKeyEv  expr.Eval
-	resEv   expr.Eval
-	cur     relation.Tuple
-	matches []relation.Tuple
-	mpos    int
-	done    bool
-	acct    accountant
+	schema *relation.Schema
+	// numTable is the common-case build table: join keys in this engine hash
+	// through Value.HashKey, which normalizes every numeric to float64, so an
+	// open-addressing table keyed by float64 directly gives identical match
+	// groups without boxing each key into an interface — and probes cheaply
+	// enough to inline into the vectorized probe loop. table is nil until the
+	// build sees a non-numeric key, at which point numTable migrates into it.
+	numTable *floatTable
+	table    map[any][]relation.Tuple
+	rKeyEv   expr.Eval
+	rKeyIdx  int
+	rKeyFast bool
+	resEv    expr.Eval
+	cur      relation.Tuple
+	matches  []relation.Tuple
+	mpos     int
+	done     bool
+	acct     accountant
+	cancel   canceller
+	src      batchSource
+	in       *Batch
+	arena    tupleArena
+	// kbuf holds one probe batch's normalized key bits (the vectorized
+	// probe's key-extraction pass).
+	kbuf []uint64
 	// MaxTable records the build-table tuple count for buffer accounting.
 	MaxTable int
 }
@@ -284,12 +313,18 @@ func (j *HashJoin) OpenCtx(ctx context.Context) error {
 		return err
 	}
 	j.rKeyEv, j.resEv = rKeyEv, resEv
+	j.rKeyIdx, j.rKeyFast = expr.ColIndex(j.RightKey, j.Right.Schema())
 	j.cur = nil
 	j.done = false
+	j.cancel.reset(ctx)
+	j.src.reset(ctx, j.Right)
 	return nil
 }
 
-// build drains the opened left input into the hash table.
+// build drains the opened left input into the hash table, batch-at-a-time:
+// one context check per batch, key extraction by direct column load when the
+// key is a bare column, and a presized float64-keyed table on the numeric
+// common case.
 func (j *HashJoin) build(ctx context.Context) error {
 	j.acct.releaseAll()
 	j.acct.budget = j.Budget
@@ -297,6 +332,60 @@ func (j *HashJoin) build(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	if j.PerTupleBuild {
+		return j.buildPerTuple(ctx, lKeyEv)
+	}
+	lKeyIdx, lKeyFast := expr.ColIndex(j.LeftKey, j.Left.Schema())
+	hint := j.BuildSizeHint
+	if hint < 0 {
+		hint = 0
+	}
+	j.numTable = newFloatTable(hint)
+	j.table = nil
+	n := 0
+	var src batchSource
+	src.reset(ctx, j.Left)
+	b := NewBatch(DefaultBatchSize)
+	for {
+		if err := CtxErr(ctx); err != nil {
+			return err
+		}
+		ok, err := src.next(b, DefaultBatchSize)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		for _, t := range b.Tuples() {
+			var k relation.Value
+			if lKeyFast && lKeyIdx < len(t) {
+				k = t[lKeyIdx]
+			} else {
+				k, err = lKeyEv(t)
+				if err != nil {
+					return err
+				}
+			}
+			if k.IsNull() {
+				continue
+			}
+			if err := j.acct.charge(1); err != nil {
+				return err
+			}
+			j.insert(k, t)
+			n++
+		}
+	}
+	j.MaxTable = n
+	return nil
+}
+
+// buildPerTuple is the scalar reference build (PerTupleBuild): one Next per
+// left tuple with a cancellation poll each pull, closure key evaluation, and
+// interface-keyed insertion — no direct column loads, no numeric fast table.
+func (j *HashJoin) buildPerTuple(ctx context.Context, lKeyEv expr.Eval) error {
+	j.numTable = nil
 	j.table = map[any][]relation.Tuple{}
 	n := 0
 	var c canceller
@@ -322,11 +411,48 @@ func (j *HashJoin) build(ctx context.Context) error {
 		if err := j.acct.charge(1); err != nil {
 			return err
 		}
-		j.table[k.HashKey()] = append(j.table[k.HashKey()], t)
+		hk := k.HashKey()
+		j.table[hk] = append(j.table[hk], t)
 		n++
 	}
 	j.MaxTable = n
 	return nil
+}
+
+// insert files one build tuple under its key, migrating the numeric fast
+// table into the generic one the first time a non-numeric key appears. The
+// migration keys the copied groups by their float64 directly — exactly the
+// value HashKey produces for numerics — so lookups stay consistent.
+func (j *HashJoin) insert(k relation.Value, t relation.Tuple) {
+	if j.table == nil {
+		if k.Numeric() {
+			j.numTable.add(k.AsFloat(), t)
+			return
+		}
+		j.table = make(map[any][]relation.Tuple, j.numTable.n+1)
+		j.numTable.each(func(f float64, ts []relation.Tuple) {
+			j.table[f] = ts
+		})
+		j.numTable = nil
+	}
+	hk := k.HashKey()
+	j.table[hk] = append(j.table[hk], t)
+}
+
+// lookup returns the build tuples matching probe key k (nil for NULL — SQL
+// equi-joins never match on NULL).
+func (j *HashJoin) lookup(k relation.Value) []relation.Tuple {
+	if k.IsNull() {
+		return nil
+	}
+	if j.table != nil {
+		return j.table[k.HashKey()]
+	}
+	f, ok := k.Float64()
+	if !ok {
+		return nil
+	}
+	return j.numTable.get(f)
 }
 
 // Next implements Operator.
@@ -350,11 +476,7 @@ func (j *HashJoin) Next() (relation.Tuple, bool, error) {
 			}
 			j.cur = t
 			j.mpos = 0
-			if k.IsNull() {
-				j.matches = nil
-			} else {
-				j.matches = j.table[k.HashKey()]
-			}
+			j.matches = j.lookup(k)
 		}
 		for j.mpos < len(j.matches) {
 			out := j.matches[j.mpos].Concat(j.cur)
@@ -371,9 +493,136 @@ func (j *HashJoin) Next() (relation.Tuple, bool, error) {
 	}
 }
 
+// NextBatch implements BatchOperator: whole probe batches flow through the
+// table per round, with the probe key loaded directly when it is a bare
+// column and the residual evaluation skipped entirely when no residual
+// exists. Output tuples are carved from the arena. A probe tuple's fan-out
+// may push out past max for one round — the Batch grows, and consumers that
+// must not overreceive (Limit) truncate.
+func (j *HashJoin) NextBatch(out *Batch, max int) (bool, error) {
+	out.Reset()
+	if j.in == nil {
+		j.in = NewBatch(DefaultBatchSize)
+	}
+	for {
+		if j.done {
+			return false, nil
+		}
+		if err := j.cancel.check(); err != nil {
+			return false, err
+		}
+		ok, err := j.src.next(j.in, max)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			j.done = true
+			return false, nil
+		}
+		if j.rKeyFast && j.Residual == nil && j.numTable != nil {
+			// The hot shape: bare-column numeric key, no residual, numeric
+			// build table — probed column-at-a-time in two passes. Pass one
+			// extracts and normalizes every key's bit pattern into kbuf,
+			// applying the build side's min-max join filter: keys outside
+			// the reachable range — with NULL, non-numeric, and NaN keys,
+			// which match nothing either — mark their slot emptyKeyBits, and
+			// pass two skips their hash and table walk entirely. On
+			// selective joins the filter prunes most probes down to two
+			// float compares. Splitting the passes also breaks the per-tuple
+			// dependence chain (Value load → hash → table load), so
+			// consecutive table probes overlap in the pipeline instead of
+			// serializing on each other's cache misses.
+			nt := j.numTable
+			keys := nt.keys
+			if len(keys) == 0 {
+				return false, fmt.Errorf("exec: hash join probe against uninitialized build table")
+			}
+			shift := nt.shift
+			// Indexing through len(keys)-1 (a power of two) lets the compiler
+			// drop the bounds checks inside the walk.
+			mask := uint64(len(keys)) - 1
+			ki := j.rKeyIdx
+			in := j.in.Tuples()
+			if cap(j.kbuf) < len(in) {
+				j.kbuf = make([]uint64, len(in))
+			}
+			kbuf := j.kbuf[:len(in)]
+			lo, hi := nt.lo, nt.hi
+			for x := range in {
+				t := in[x]
+				if ki >= len(t) {
+					return false, fmt.Errorf("exec: hash join probe tuple too short (arity %d)", len(t))
+				}
+				fb := uint64(emptyKeyBits)
+				// The range test is negated so NaN (false both ways) prunes.
+				if f, ok := t[ki].Float64(); ok && f >= lo && f <= hi {
+					if f != 0 {
+						fb = math.Float64bits(f)
+					} else {
+						fb = 0
+					}
+				}
+				kbuf[x] = fb
+			}
+			for x, fb := range kbuf {
+				if fb == emptyKeyBits {
+					continue
+				}
+				i := (hashBits(fb) >> shift) & mask
+				for {
+					kb := keys[i&mask]
+					if kb == fb {
+						t := in[x]
+						for _, m := range nt.groups[i&mask] {
+							out.Append(j.arena.concat(m, t))
+						}
+						break
+					}
+					if kb == emptyKeyBits {
+						break
+					}
+					i = (i + 1) & mask
+				}
+			}
+		} else {
+			for _, t := range j.in.Tuples() {
+				var k relation.Value
+				if j.rKeyFast && j.rKeyIdx < len(t) {
+					k = t[j.rKeyIdx]
+				} else {
+					k, err = j.rKeyEv(t)
+					if err != nil {
+						return false, err
+					}
+				}
+				if j.Residual == nil {
+					for _, m := range j.lookup(k) {
+						out.Append(j.arena.concat(m, t))
+					}
+					continue
+				}
+				for _, m := range j.lookup(k) {
+					joined := j.arena.concat(m, t)
+					pass, err := expr.EvalBool(j.resEv, joined)
+					if err != nil {
+						return false, err
+					}
+					if pass {
+						out.Append(joined)
+					}
+				}
+			}
+		}
+		if out.Len() > 0 {
+			return true, nil
+		}
+	}
+}
+
 // Close implements Operator.
 func (j *HashJoin) Close() error {
 	j.table = nil
+	j.numTable = nil
 	j.acct.releaseAll()
 	return j.Right.Close()
 }

@@ -200,3 +200,7 @@ func (c *canceller) poll() error {
 	}
 	return CtxErr(c.ctx)
 }
+
+// check tests the context unconditionally — the per-batch cadence, where one
+// check already covers up to DefaultBatchSize tuples of work.
+func (c *canceller) check() error { return CtxErr(c.ctx) }

@@ -70,11 +70,50 @@ func Collect(op Operator) ([]relation.Tuple, error) {
 }
 
 // CollectCtx collects like Collect under a query context: the tree is opened
-// through OpenOp so every context-aware operator sees ctx, and the drain loop
-// itself polls ctx on the sampling cadence. On any failure — including
+// through OpenOp so every context-aware operator sees ctx, and the drain
+// pulls batch-at-a-time — vectorized roots are drained natively, per-tuple
+// roots through the shim (which polls ctx on the canceller cadence), with
+// one context check per batch either way. On any failure — including
 // cancellation — the tree is closed before returning, so a cancelled query
 // never leaks goroutines, pooled buffers, or open state.
 func CollectCtx(ctx context.Context, op Operator) ([]relation.Tuple, error) {
+	if err := CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := OpenOp(ctx, op); err != nil {
+		return nil, err
+	}
+	var out []relation.Tuple
+	var src batchSource
+	src.reset(ctx, op)
+	b := NewBatch(DefaultBatchSize)
+	for {
+		if err := CtxErr(ctx); err != nil {
+			_ = op.Close()
+			return nil, err
+		}
+		ok, err := src.next(b, DefaultBatchSize)
+		if err != nil {
+			_ = op.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, b.Tuples()...)
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CollectPerTupleCtx is the one-tuple-per-Next reference drain: CollectCtx
+// exactly as it behaved before batch execution landed. The batch benchmarks
+// use it as the baseline side, and the differential oracle cross-checks
+// every plan through both drains — any batch-vs-tuple divergence fails the
+// comparison.
+func CollectPerTupleCtx(ctx context.Context, op Operator) ([]relation.Tuple, error) {
 	if err := CtxErr(ctx); err != nil {
 		return nil, err
 	}
@@ -105,13 +144,102 @@ func CollectCtx(ctx context.Context, op Operator) ([]relation.Tuple, error) {
 	return out, nil
 }
 
-// CollectK opens op, pulls at most k tuples, closes it.
+// DrainCtx opens op, pulls it to exhaustion batch-at-a-time discarding the
+// tuples, closes it, and returns the tuple count. It is the
+// materialization-free drain — row counting, benchmark loops — where the
+// result-buffer cost of CollectCtx would be pure noise.
+func DrainCtx(ctx context.Context, op Operator) (int, error) {
+	if err := CtxErr(ctx); err != nil {
+		return 0, err
+	}
+	if err := OpenOp(ctx, op); err != nil {
+		return 0, err
+	}
+	n := 0
+	var src batchSource
+	src.reset(ctx, op)
+	b := NewBatch(DefaultBatchSize)
+	for {
+		if err := CtxErr(ctx); err != nil {
+			_ = op.Close()
+			return n, err
+		}
+		ok, err := src.next(b, DefaultBatchSize)
+		if err != nil {
+			_ = op.Close()
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		n += b.Len()
+	}
+	if err := op.Close(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// DrainPerTupleCtx drains like DrainCtx one tuple per Next — the per-tuple
+// reference side of the batch benchmarks.
+func DrainPerTupleCtx(ctx context.Context, op Operator) (int, error) {
+	if err := CtxErr(ctx); err != nil {
+		return 0, err
+	}
+	if err := OpenOp(ctx, op); err != nil {
+		return 0, err
+	}
+	n := 0
+	var c canceller
+	c.reset(ctx)
+	for {
+		if err := c.poll(); err != nil {
+			_ = op.Close()
+			return n, err
+		}
+		_, ok, err := op.Next()
+		if err != nil {
+			_ = op.Close()
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if err := op.Close(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// CollectK opens op, pulls at most k tuples, closes it — the background-
+// context shim over CollectKCtx, for callers without a query context.
 func CollectK(op Operator, k int) ([]relation.Tuple, error) {
-	if err := op.Open(); err != nil {
+	return CollectKCtx(context.Background(), op, k)
+}
+
+// CollectKCtx collects like CollectK under a query context: the tree is
+// opened through OpenOp so every context-aware operator sees ctx, and the
+// drain loop polls ctx on the canceller cadence. It pulls one tuple per Next
+// on purpose — pulling batch-granular here would overpull lazy rank-join
+// roots past k, destroying exactly the early termination top-k callers use
+// CollectK for.
+func CollectKCtx(ctx context.Context, op Operator, k int) ([]relation.Tuple, error) {
+	if err := CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := OpenOp(ctx, op); err != nil {
 		return nil, err
 	}
 	var out []relation.Tuple
+	var c canceller
+	c.reset(ctx)
 	for len(out) < k {
+		if err := c.poll(); err != nil {
+			_ = op.Close()
+			return nil, err
+		}
 		t, ok, err := op.Next()
 		if err != nil {
 			_ = op.Close()
@@ -130,10 +258,12 @@ func CollectK(op Operator, k int) ([]relation.Tuple, error) {
 
 // Counter wraps an operator and counts the tuples pulled through it. The
 // experiment harness uses counters to measure operator depths (the number of
-// input tuples a rank-join consumed).
+// input tuples a rank-join consumed). It forwards the batch contract, so
+// counting does not knock a vectorized pipeline back to per-tuple pulls.
 type Counter struct {
 	In    Operator
 	count int
+	src   batchSource
 }
 
 // NewCounter wraps in.
@@ -148,7 +278,11 @@ func (c *Counter) Open() error { return c.OpenCtx(context.Background()) }
 // OpenCtx implements OperatorCtx, forwarding the context to the input.
 func (c *Counter) OpenCtx(ctx context.Context) error {
 	c.count = 0
-	return OpenOp(ctx, c.In)
+	if err := OpenOp(ctx, c.In); err != nil {
+		return err
+	}
+	c.src.reset(ctx, c.In)
+	return nil
 }
 
 // Next implements Operator.
@@ -158,6 +292,15 @@ func (c *Counter) Next() (relation.Tuple, bool, error) {
 		c.count++
 	}
 	return t, ok, err
+}
+
+// NextBatch implements BatchOperator, counting whole batches at once.
+func (c *Counter) NextBatch(out *Batch, max int) (bool, error) {
+	ok, err := c.src.next(out, max)
+	if ok {
+		c.count += out.Len()
+	}
+	return ok, err
 }
 
 // Close implements Operator.
@@ -201,4 +344,20 @@ func (s *sliceOp) Next() (relation.Tuple, bool, error) {
 	t := s.tuples[s.pos]
 	s.pos++
 	return t, true, nil
+}
+
+// NextBatch implements BatchOperator: the batch borrows a window of the
+// materialized slice (zero copies, like SeqScan over a heap).
+func (s *sliceOp) NextBatch(out *Batch, max int) (bool, error) {
+	if s.pos >= len(s.tuples) {
+		out.Reset()
+		return false, nil
+	}
+	end := s.pos + max
+	if end > len(s.tuples) {
+		end = len(s.tuples)
+	}
+	out.SetView(s.tuples[s.pos:end])
+	s.pos = end
+	return true, nil
 }

@@ -30,6 +30,11 @@ type OpStats struct {
 	// the total (see EstNextNanos).
 	NextNanos    int64
 	SampledNexts int64
+	// BatchCalls and BatchNanos count and time NextBatch invocations. Batch
+	// pulls are rare relative to tuples (one per DefaultBatchSize), so every
+	// call is timed — no sampling needed.
+	BatchCalls int64
+	BatchNanos int64
 
 	// LeftDepth and RightDepth are the tuples a rank-join actually consumed
 	// from each input — the quantity the Section 4 depth model predicts.
@@ -43,12 +48,14 @@ type OpStats struct {
 	PoolHit, PoolMiss int64
 }
 
-// EstNextNanos extrapolates the total Next wall time from the sampled calls.
+// EstNextNanos estimates the total pull-side wall time: the per-tuple Next
+// time extrapolated from the sampled calls, plus the fully-timed batch calls.
 func (s OpStats) EstNextNanos() int64 {
-	if s.SampledNexts == 0 {
-		return 0
+	var est int64
+	if s.SampledNexts > 0 {
+		est = s.NextNanos * s.NextCalls / s.SampledNexts
 	}
-	return s.NextNanos * s.NextCalls / s.SampledNexts
+	return est + s.BatchNanos
 }
 
 // nextSamplePeriod is the Next-call sampling stride of the Analyzed
@@ -80,6 +87,7 @@ type gaugeReporter interface {
 type Analyzed struct {
 	In    Operator
 	stats OpStats
+	src   batchSource
 }
 
 // Analyze wraps op with a stats collector.
@@ -103,6 +111,7 @@ func (a *Analyzed) OpenCtx(ctx context.Context) error {
 		return err
 	}
 	a.stats.Opens++
+	a.src.reset(ctx, a.In)
 	return nil
 }
 
@@ -124,6 +133,21 @@ func (a *Analyzed) Next() (relation.Tuple, bool, error) {
 		a.stats.TuplesOut++
 	}
 	return t, ok, err
+}
+
+// NextBatch implements BatchOperator, so wrapping a vectorized operator in
+// EXPLAIN ANALYZE does not knock its pipeline back to per-tuple pulls. Every
+// batch call is wall-timed (one pair of time.Now reads per batch is already
+// amortized) and TuplesOut counts whole batches.
+func (a *Analyzed) NextBatch(out *Batch, max int) (bool, error) {
+	a.stats.BatchCalls++
+	start := time.Now()
+	ok, err := a.src.next(out, max)
+	a.stats.BatchNanos += time.Since(start).Nanoseconds()
+	if ok {
+		a.stats.TuplesOut += int64(out.Len())
+	}
+	return ok, err
 }
 
 // Close implements Operator. The inner operator's gauges are captured before

@@ -32,6 +32,23 @@ func (s *SeqScan) Next() (relation.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch implements BatchOperator: the batch borrows a window of the
+// relation's heap directly — no interface call per tuple, no header copies.
+func (s *SeqScan) NextBatch(out *Batch, max int) (bool, error) {
+	tuples := s.Rel.Tuples()
+	if s.pos >= len(tuples) {
+		out.Reset()
+		return false, nil
+	}
+	end := s.pos + max
+	if end > len(tuples) {
+		end = len(tuples)
+	}
+	out.SetView(tuples[s.pos:end])
+	s.pos = end
+	return true, nil
+}
+
 // Close implements Operator.
 func (s *SeqScan) Close() error { return nil }
 
@@ -79,6 +96,24 @@ func (s *IndexScan) Next() (relation.Tuple, bool, error) {
 		return nil, false, fmt.Errorf("exec: index %s holds rid %d beyond relation %s", s.Idx.Name, rid, s.Rel.Name)
 	}
 	return s.Rel.Tuple(rid), true, nil
+}
+
+// NextBatch implements BatchOperator: the tree iterator advances per rid but
+// the interface-call and validity-check overhead is amortized per batch.
+func (s *IndexScan) NextBatch(out *Batch, max int) (bool, error) {
+	out.Reset()
+	n := s.Rel.Cardinality()
+	for out.Len() < max {
+		_, rid, ok := s.it.Next()
+		if !ok {
+			break
+		}
+		if rid < 0 || rid >= n {
+			return false, fmt.Errorf("exec: index %s holds rid %d beyond relation %s", s.Idx.Name, rid, s.Rel.Name)
+		}
+		out.Append(s.Rel.Tuple(rid))
+	}
+	return out.Len() > 0, nil
 }
 
 // Close implements Operator.

@@ -1,0 +1,316 @@
+package expr
+
+import (
+	"fmt"
+
+	"rankopt/internal/relation"
+)
+
+// This file is the de-boxed predicate fast path for vectorized filters. The
+// generic Bind machinery evaluates a comparison through three closure calls
+// and a boxed Value round-trip per tuple; for the overwhelmingly common
+// filter shapes — column against constant, column against column — CmpEval
+// evaluates the same predicate with direct column loads and an inlined
+// numeric compare. Semantics are identical to EvalBool over the bound
+// expression: NULL on either side drops the tuple, incomparable kinds are an
+// error.
+
+// CmpEval is a compiled comparison predicate over one schema: tuple[li] OP
+// tuple[ri], or tuple[li] OP konst when ri is negative. The zero value is
+// not usable; obtain one from CompileCmp.
+type CmpEval struct {
+	op    Op
+	li    int
+	ri    int
+	konst relation.Value
+}
+
+// flipped maps an operator to its mirror so "const OP col" normalizes to
+// "col OP' const".
+func flipped(op Op) Op {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default: // Eq and Ne are symmetric.
+		return op
+	}
+}
+
+// comparableKinds reports whether the comparison is statically well-typed:
+// numeric against numeric, or same kind. Anything else falls back to the
+// generic evaluator, which reports the proper error.
+func comparableKinds(a, b relation.Kind) bool {
+	num := func(k relation.Kind) bool { return k == relation.KindInt || k == relation.KindFloat }
+	if num(a) && num(b) {
+		return true
+	}
+	return a == b && a != relation.KindNull
+}
+
+// CompileCmp recognizes e as a comparison the fast path handles — ColRef OP
+// Const, Const OP ColRef, or ColRef OP ColRef, with statically comparable
+// kinds under sch — and compiles it. ok=false means the caller must use the
+// generic Bind path.
+func CompileCmp(e Expr, sch *relation.Schema) (CmpEval, bool) {
+	b, isBin := e.(Binary)
+	if !isBin || !b.Op.Comparison() {
+		return CmpEval{}, false
+	}
+	resolve := func(c ColRef) (int, relation.Kind, bool) {
+		i, err := sch.Resolve(c.Table, c.Name)
+		if err != nil {
+			return 0, relation.KindNull, false
+		}
+		return i, sch.Column(i).Kind, true
+	}
+	switch l := b.L.(type) {
+	case ColRef:
+		li, lk, ok := resolve(l)
+		if !ok {
+			return CmpEval{}, false
+		}
+		switch r := b.R.(type) {
+		case Const:
+			if r.V.IsNull() || !comparableKinds(lk, r.V.Kind()) {
+				return CmpEval{}, false
+			}
+			return CmpEval{op: b.Op, li: li, ri: -1, konst: r.V}, true
+		case ColRef:
+			ri, rk, ok := resolve(r)
+			if !ok || !comparableKinds(lk, rk) {
+				return CmpEval{}, false
+			}
+			return CmpEval{op: b.Op, li: li, ri: ri}, true
+		}
+	case Const:
+		r, isCol := b.R.(ColRef)
+		if !isCol {
+			return CmpEval{}, false
+		}
+		ri, rk, ok := resolve(r)
+		if !ok || l.V.IsNull() || !comparableKinds(rk, l.V.Kind()) {
+			return CmpEval{}, false
+		}
+		return CmpEval{op: flipped(b.Op), li: ri, ri: -1, konst: l.V}, true
+	}
+	return CmpEval{}, false
+}
+
+// Keep evaluates the predicate against one tuple: true keeps the tuple,
+// false (including NULL on either side) drops it — EvalBool semantics
+// without the closure tree or Value boxing.
+func (p CmpEval) Keep(t relation.Tuple) (bool, error) {
+	if p.li >= len(t) || p.ri >= len(t) {
+		return false, fmt.Errorf("expr: tuple too short for compiled comparison (arity %d)", len(t))
+	}
+	lv := t[p.li]
+	rv := p.konst
+	if p.ri >= 0 {
+		rv = t[p.ri]
+	}
+	if lv.IsNull() || rv.IsNull() {
+		return false, nil
+	}
+	if !lv.Comparable(rv) {
+		return false, fmt.Errorf("expr: cannot compare %v against %v", lv, rv)
+	}
+	cmp := lv.Compare(rv)
+	switch p.op {
+	case OpEq:
+		return cmp == 0, nil
+	case OpNe:
+		return cmp != 0, nil
+	case OpLt:
+		return cmp < 0, nil
+	case OpLe:
+		return cmp <= 0, nil
+	case OpGt:
+		return cmp > 0, nil
+	default: // OpGe; CompileCmp only accepts comparison operators.
+		return cmp >= 0, nil
+	}
+}
+
+// keepFloat applies op to an already-widened numeric pair.
+func keepFloat(op Op, l, r float64) bool {
+	switch op {
+	case OpEq:
+		return l == r
+	case OpNe:
+		return l != r
+	case OpLt:
+		return l < r
+	case OpLe:
+		return l <= r
+	case OpGt:
+		return l > r
+	default: // OpGe
+		return l >= r
+	}
+}
+
+// errShortTuple and errIncomparable are the kernels' cold error paths,
+// hoisted out so the loop bodies stay within inlining-friendly shapes.
+func errShortTuple(n int) error {
+	return fmt.Errorf("expr: tuple too short for compiled comparison (arity %d)", n)
+}
+
+func errIncomparable(l, r relation.Value) error {
+	return fmt.Errorf("expr: cannot compare %v against %v", l, r)
+}
+
+// FilterAppend appends to dst every tuple of in that satisfies the
+// predicate and returns the grown slice — the vectorized filter kernel. The
+// dominant shape (numeric column against numeric constant) runs one
+// specialized loop per comparison operator: a bounds check, an inlined
+// Float64 load, and one float compare per tuple — measured at less than
+// half the cost of a merged loop dispatching on the operator per row.
+// Non-numeric predicates fall back to per-tuple Keep. Semantics match Keep
+// exactly (NULL drops, incomparable kinds error).
+func (p CmpEval) FilterAppend(dst, in []relation.Tuple) ([]relation.Tuple, error) {
+	if p.ri < 0 {
+		if c, ok := p.konst.Float64(); ok {
+			li := p.li
+			switch p.op {
+			case OpEq:
+				for i := range in {
+					t := in[i]
+					if li >= len(t) {
+						return dst, errShortTuple(len(t))
+					}
+					if f, okf := t[li].Float64(); okf {
+						if f == c {
+							dst = append(dst, t)
+						}
+					} else if !t[li].IsNull() {
+						return dst, errIncomparable(t[li], p.konst)
+					}
+				}
+			case OpNe:
+				for i := range in {
+					t := in[i]
+					if li >= len(t) {
+						return dst, errShortTuple(len(t))
+					}
+					if f, okf := t[li].Float64(); okf {
+						if f != c {
+							dst = append(dst, t)
+						}
+					} else if !t[li].IsNull() {
+						return dst, errIncomparable(t[li], p.konst)
+					}
+				}
+			case OpLt:
+				for i := range in {
+					t := in[i]
+					if li >= len(t) {
+						return dst, errShortTuple(len(t))
+					}
+					if f, okf := t[li].Float64(); okf {
+						if f < c {
+							dst = append(dst, t)
+						}
+					} else if !t[li].IsNull() {
+						return dst, errIncomparable(t[li], p.konst)
+					}
+				}
+			case OpLe:
+				for i := range in {
+					t := in[i]
+					if li >= len(t) {
+						return dst, errShortTuple(len(t))
+					}
+					if f, okf := t[li].Float64(); okf {
+						if f <= c {
+							dst = append(dst, t)
+						}
+					} else if !t[li].IsNull() {
+						return dst, errIncomparable(t[li], p.konst)
+					}
+				}
+			case OpGt:
+				for i := range in {
+					t := in[i]
+					if li >= len(t) {
+						return dst, errShortTuple(len(t))
+					}
+					if f, okf := t[li].Float64(); okf {
+						if f > c {
+							dst = append(dst, t)
+						}
+					} else if !t[li].IsNull() {
+						return dst, errIncomparable(t[li], p.konst)
+					}
+				}
+			default: // OpGe
+				for i := range in {
+					t := in[i]
+					if li >= len(t) {
+						return dst, errShortTuple(len(t))
+					}
+					if f, okf := t[li].Float64(); okf {
+						if f >= c {
+							dst = append(dst, t)
+						}
+					} else if !t[li].IsNull() {
+						return dst, errIncomparable(t[li], p.konst)
+					}
+				}
+			}
+			return dst, nil
+		}
+	} else {
+		for _, t := range in {
+			if p.li >= len(t) || p.ri >= len(t) {
+				return dst, errShortTuple(len(t))
+			}
+			lf, okl := t[p.li].Float64()
+			rf, okr := t[p.ri].Float64()
+			if !okl || !okr {
+				// NULL or non-numeric on either side: per-tuple Keep settles it.
+				keep, err := p.Keep(t)
+				if err != nil {
+					return dst, err
+				}
+				if keep {
+					dst = append(dst, t)
+				}
+				continue
+			}
+			if keepFloat(p.op, lf, rf) {
+				dst = append(dst, t)
+			}
+		}
+		return dst, nil
+	}
+	for _, t := range in {
+		keep, err := p.Keep(t)
+		if err != nil {
+			return dst, err
+		}
+		if keep {
+			dst = append(dst, t)
+		}
+	}
+	return dst, nil
+}
+
+// ColIndex resolves e as a bare column reference under sch, for operators
+// with a direct-load key fast path (the vectorized hash-join build).
+func ColIndex(e Expr, sch *relation.Schema) (int, bool) {
+	c, ok := e.(ColRef)
+	if !ok {
+		return -1, false
+	}
+	i, err := sch.Resolve(c.Table, c.Name)
+	if err != nil {
+		return -1, false
+	}
+	return i, true
+}

@@ -9,6 +9,7 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -21,6 +22,7 @@ import (
 	"rankopt/internal/exec"
 	"rankopt/internal/expr"
 	"rankopt/internal/plan"
+	"rankopt/internal/relation"
 	"rankopt/internal/sqlparse"
 	"rankopt/internal/workload"
 )
@@ -214,6 +216,15 @@ func Run(c Case) (Report, error) {
 		return Report{}, fmt.Errorf("seed %d: optimizer returned no plans", c.Seed)
 	}
 	for pi, root := range res.AllPlans {
+		// Every plan executes twice — batch-at-a-time (the production drain)
+		// and as the scalar reference executor (ScalarRef compile, one tuple
+		// per Next) — from two independent compilations, so leftover operator
+		// state cannot mask a divergence. The batch result is checked against
+		// brute force; the reference result must match it tuple-for-tuple,
+		// value-for-value. The reference side keeps pre-vectorization
+		// internals (interface-keyed hash-join build), so this also
+		// differentially tests the open-addressing numeric table against an
+		// independent implementation on every generated plan.
 		op, err := plan.Compile(c.cat, root)
 		if err != nil {
 			return Report{}, fmt.Errorf("seed %d plan %d: compile: %w\n%s", c.Seed, pi, err, plan.Explain(root))
@@ -221,6 +232,18 @@ func Run(c Case) (Report, error) {
 		tuples, err := exec.Collect(op)
 		if err != nil {
 			return Report{}, fmt.Errorf("seed %d plan %d: execute: %w\n%s", c.Seed, pi, err, plan.Explain(root))
+		}
+		opRef, err := plan.CompileWith(c.cat, root, plan.Config{ScalarRef: true})
+		if err != nil {
+			return Report{}, fmt.Errorf("seed %d plan %d: recompile: %w\n%s", c.Seed, pi, err, plan.Explain(root))
+		}
+		ref, err := exec.CollectPerTupleCtx(context.Background(), opRef)
+		if err != nil {
+			return Report{}, fmt.Errorf("seed %d plan %d: per-tuple execute: %w\n%s", c.Seed, pi, err, plan.Explain(root))
+		}
+		if err := compareTuples(ref, tuples); err != nil {
+			return Report{}, fmt.Errorf("seed %d plan %d/%d: batch vs per-tuple: %w\nquery: %s\n%s",
+				c.Seed, pi, len(res.AllPlans), err, c.SQL, plan.Explain(root))
 		}
 		got := make([]float64, len(tuples))
 		for i, t := range tuples {
@@ -233,6 +256,28 @@ func Run(c Case) (Report, error) {
 		}
 	}
 	return Report{SQL: c.SQL, Plans: len(res.AllPlans), Results: len(want)}, nil
+}
+
+// compareTuples asserts two result sets are identical: same count, same
+// order, same arity, every value Equal. Used for the batch-vs-per-tuple
+// cross-check, where the two drains execute the same plan and any difference
+// at all is an executor bug.
+func compareTuples(want, got []relation.Tuple) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("row count mismatch: per-tuple %d, batch %d", len(want), len(got))
+	}
+	for i := range want {
+		if len(want[i]) != len(got[i]) {
+			return fmt.Errorf("row %d arity mismatch: per-tuple %d, batch %d", i, len(want[i]), len(got[i]))
+		}
+		for j := range want[i] {
+			if !want[i][j].Equal(got[i][j]) {
+				return fmt.Errorf("row %d column %d mismatch: per-tuple %v, batch %v",
+					i, j, want[i][j], got[i][j])
+			}
+		}
+	}
+	return nil
 }
 
 // compareScores asserts two descending score sequences match element-wise

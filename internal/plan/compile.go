@@ -32,7 +32,28 @@ func CompileLimited(cat *catalog.Catalog, n *Node, budget *exec.Budget) (exec.Op
 // into every buffering operator (rank-join queues and hash tables, TopK
 // heaps, sorts, hash-join build tables).
 func CompileTracedLimited(cat *catalog.Catalog, n *Node, trace func(*Node, exec.Operator), budget *exec.Budget) (exec.Operator, error) {
-	c := &compiler{cat: cat, trace: trace, budget: budget}
+	return CompileWith(cat, n, Config{Trace: trace, Budget: budget})
+}
+
+// Config collects the compilation knobs for CompileWith; the zero value
+// compiles exactly like Compile.
+type Config struct {
+	// Trace is invoked for every (plan node, compiled operator) pair.
+	Trace func(*Node, exec.Operator)
+	// Budget, when set, is wired into every buffering operator.
+	Budget *exec.Budget
+	// ScalarRef compiles the scalar reference executor: operators with a
+	// vectorized internal phase fall back to their pre-batch per-tuple form
+	// (today that is the hash join's build and table layout). Combined with a
+	// per-tuple drain this reproduces the executor exactly as it was before
+	// batch execution landed — the baseline the batch benchmarks measure
+	// against and the independent side of the differential oracle.
+	ScalarRef bool
+}
+
+// CompileWith compiles n under the given configuration.
+func CompileWith(cat *catalog.Catalog, n *Node, cfg Config) (exec.Operator, error) {
+	c := &compiler{cat: cat, trace: cfg.Trace, budget: cfg.Budget, scalarRef: cfg.ScalarRef}
 	return c.compile(n)
 }
 
@@ -46,6 +67,8 @@ type compiler struct {
 	// budget, when set, is installed into every buffering operator so the
 	// whole tree draws from one per-query allowance.
 	budget *exec.Budget
+	// scalarRef selects the scalar reference configuration (Config.ScalarRef).
+	scalarRef bool
 }
 
 func (c *compiler) compile(n *Node) (exec.Operator, error) {
@@ -188,6 +211,8 @@ func (c *compiler) build(n *Node) (exec.Operator, error) {
 		}
 		hj := exec.NewHashJoin(l, r, n.EqPreds[0].L, n.EqPreds[0].R, n.residualAfterPrimary())
 		hj.Budget = c.budget
+		hj.BuildSizeHint = int(n.Left().Card)
+		hj.PerTupleBuild = c.scalarRef
 		return hj, nil
 
 	case OpMergeJoin:

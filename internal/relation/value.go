@@ -117,6 +117,20 @@ func (v Value) AsBool() bool {
 // Numeric reports whether the value is an int or float.
 func (v Value) Numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
 
+// Float64 returns the numeric payload widened to float64, or ok=false for
+// non-numeric kinds. Unlike AsFloat it never panics and stays within the
+// inlining budget, so vectorized kernels (batch filters, hash-join probes)
+// can read values without a function call per tuple.
+func (v Value) Float64() (float64, bool) {
+	if v.kind == KindFloat {
+		return v.f, true
+	}
+	if v.kind == KindInt {
+		return float64(v.i), true
+	}
+	return 0, false
+}
+
 // Comparable reports whether Compare is defined for this pair of kinds:
 // anything against NULL, numeric against numeric, otherwise same kind only.
 // Callers evaluating untrusted expressions (constant folding over user SQL)
