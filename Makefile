@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench throughput plancache oracle fuzz cancel trace batch ci
+.PHONY: all fmt vet build test race bench throughput plancache oracle fuzz cancel trace batch shard ci
 
 all: ci
 
@@ -52,6 +52,12 @@ trace: build
 # emits BENCH_batch.json and exits nonzero when the two paths diverge.
 batch: build
 	$(GO) run ./cmd/raqo-bench -batch -out BENCH_batch.json
+
+# Sharded scatter-gather scaling sweep (shard counts 1/2/4/8 on the skewed
+# range-partitioned workload); emits BENCH_shard.json and exits nonzero when
+# shard=4 throughput is below 1.5x shard=1 or no shard was ever stopped early.
+shard: build
+	$(GO) run ./cmd/raqo-bench -shard -out BENCH_shard.json
 
 ci: fmt vet build race
 	$(GO) test ./internal/oracle -quick

@@ -27,6 +27,12 @@
 //	                           # tuple-level parity checking, written to
 //	                           # BENCH_batch.json; exits nonzero when the two
 //	                           # executor paths disagree
+//	raqo-bench -shard          # sharded scatter-gather scaling sweep over
+//	                           # shard counts 1/2/4/8 on the skewed
+//	                           # range-partitioned workload, written to
+//	                           # BENCH_shard.json; exits nonzero when shard=4
+//	                           # throughput is below -minspeedup x shard=1 or
+//	                           # the bounds never stopped a shard early
 //
 // The -concurrency mode runs a fixed batch of top-k sessions over one shared
 // catalog at each worker count (-workers, default 1,2,4,8), prints the
@@ -76,6 +82,8 @@ func main() {
 		cancelBench = flag.Bool("cancel", false, "run the cancellation-under-load latency benchmark")
 		traceBench  = flag.Bool("trace", false, "run the tracing on/off overhead comparison")
 		batchBench  = flag.Bool("batch", false, "run the batch vs per-tuple executor comparison")
+		shardBench  = flag.Bool("shard", false, "run the sharded scatter-gather scaling sweep")
+		minSpeedup  = flag.Float64("minspeedup", 1.5, "fail when shard=4 qps is below this multiple of shard=1 (-shard)")
 		maxErr      = flag.Float64("maxerr", 3.0, "fail when the sweep's mean relative depth error exceeds this (-analyze)")
 		maxSlowdown = flag.Float64("maxslowdown", 50.0, "fail when traced sessions are this many times slower than untraced (-trace)")
 		out         = flag.String("out", "", "artifact path (defaults per mode)")
@@ -141,6 +149,17 @@ func main() {
 		}
 		return
 	}
+	if *shardBench {
+		path := *out
+		if path == "" {
+			path = "BENCH_shard.json"
+		}
+		if err := runShard(path, *rows, *queries, *minSpeedup); err != nil {
+			fmt.Fprintln(os.Stderr, "raqo-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *cancelBench {
 		path := *out
 		if path == "" {
@@ -155,7 +174,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Println("usage: raqo-bench all | <experiment>... | -concurrency | -plancache | -analyze | -cancel | -trace | -batch")
+		fmt.Println("usage: raqo-bench all | <experiment>... | -concurrency | -plancache | -analyze | -cancel | -trace | -batch | -shard")
 		fmt.Println("experiments:")
 		for _, e := range bench.All() {
 			fmt.Printf("  %-10s %s\n", e.Name, e.What)
@@ -269,7 +288,7 @@ func runTrace(out string, rows, queries int, maxSlowdown float64) error {
 
 func runBatch(out string, rows int) error {
 	if runtime.GOMAXPROCS(0) == 1 {
-		fmt.Fprintln(os.Stderr, "raqo-bench: warning: GOMAXPROCS=1 — parallel speedups are invisible on this run; batch-vs-tuple ratios are single-threaded and remain valid (artifact is stamped single_cpu)")
+		fmt.Fprintln(os.Stderr, "raqo-bench: warning: GOMAXPROCS=1 — parallel speedups are invisible on this run; batch-vs-tuple ratios are single-threaded and remain valid (the artifact records gomaxprocs and cpus, so the run's context is machine-readable)")
 	}
 	cfg := bench.DefaultBatchConfig()
 	if rows > 0 {
@@ -290,6 +309,32 @@ func runBatch(out string, rows int) error {
 	fmt.Printf("wrote %s\n", out)
 	// The parity gate: a divergence between the executor paths fails the run.
 	return rep.CheckParity()
+}
+
+func runShard(out string, rows, queries int, minSpeedup float64) error {
+	cfg := bench.DefaultShardConfig()
+	if rows > 0 {
+		cfg.Rows = rows
+	}
+	if queries > 0 {
+		cfg.Queries = queries
+	}
+	rep, err := bench.Shard(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Table())
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	// The scaling gate: shard=4 must beat shard=1 by minSpeedup with a
+	// nonzero early-stop rate.
+	return rep.CheckScaling(minSpeedup)
 }
 
 func runCancel(out string, rows, sessions int, workers string) error {

@@ -69,6 +69,7 @@ type BatchPoint struct {
 type BatchReport struct {
 	Config   BatchConfig `json:"config"`
 	MaxProcs int         `json:"gomaxprocs"`
+	CPUs     int         `json:"cpus"`
 	// SingleCPU flags runs taken at GOMAXPROCS=1, where parallel speedups
 	// are structurally invisible. Batch-vs-tuple ratios are single-threaded
 	// either way, so they remain valid — the flag exists so artifacts are
@@ -220,6 +221,7 @@ func BatchExec(cfg BatchConfig) (*BatchReport, error) {
 	report := &BatchReport{
 		Config:    cfg,
 		MaxProcs:  runtime.GOMAXPROCS(0),
+		CPUs:      runtime.NumCPU(),
 		SingleCPU: runtime.GOMAXPROCS(0) == 1,
 	}
 	for _, c := range cases {

@@ -54,6 +54,7 @@ func DefaultCancelConfig() CancelConfig {
 type CancelReport struct {
 	Config   CancelConfig `json:"config"`
 	MaxProcs int          `json:"gomaxprocs"`
+	CPUs     int          `json:"cpus"`
 	// SingleCPU flags runs taken at GOMAXPROCS=1 — cancel latencies there
 	// include scheduler queuing behind the running query, not just polling
 	// cadence, so tails are expected to stretch (see BatchReport.SingleCPU).
@@ -118,7 +119,7 @@ func Cancel(cfg CancelConfig) (*CancelReport, error) {
 	total := time.Since(start)
 
 	rep := &CancelReport{
-		Config: cfg, MaxProcs: runtime.GOMAXPROCS(0),
+		Config: cfg, MaxProcs: runtime.GOMAXPROCS(0), CPUs: runtime.NumCPU(),
 		SingleCPU: runtime.GOMAXPROCS(0) == 1, Sessions: cfg.Sessions,
 	}
 	for _, m := range mistyped {

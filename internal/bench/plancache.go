@@ -69,6 +69,7 @@ type PlanCachePoint struct {
 type PlanCacheReport struct {
 	Config   PlanCacheConfig `json:"config"`
 	MaxProcs int             `json:"gomaxprocs"`
+	CPUs     int             `json:"cpus"`
 	// SingleCPU flags runs taken at GOMAXPROCS=1 (see BatchReport.SingleCPU).
 	SingleCPU bool             `json:"single_cpu"`
 	Points    []PlanCachePoint `json:"points"`
@@ -135,7 +136,7 @@ func PlanCache(cfg PlanCacheConfig) (*PlanCacheReport, error) {
 	if err := firstErr(warm.RunAll(reqs, 1)); err != nil {
 		return nil, fmt.Errorf("bench: plancache cache priming: %w", err)
 	}
-	report := &PlanCacheReport{Config: cfg, MaxProcs: runtime.GOMAXPROCS(0), SingleCPU: runtime.GOMAXPROCS(0) == 1}
+	report := &PlanCacheReport{Config: cfg, MaxProcs: runtime.GOMAXPROCS(0), CPUs: runtime.NumCPU(), SingleCPU: runtime.GOMAXPROCS(0) == 1}
 	for _, w := range cfg.Workers {
 		pt := PlanCachePoint{Workers: w, Queries: len(reqs)}
 		var err error

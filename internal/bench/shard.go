@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"rankopt/internal/catalog"
+	"rankopt/internal/engine"
+	"rankopt/internal/workload"
+)
+
+// ShardConfig parameterizes the sharded serving-tier scaling benchmark. The
+// workload is deliberately skewed so the coordinator's bounds have something
+// to prove: tables are range-partitioned on the join key and scores are a
+// function of the key (workload.ScoreByKey=1), so the global top-k lives
+// entirely in the highest-key shard and every other shard's a-priori ceiling
+// is beatable. No score indexes exist, so per-shard plans are blocking
+// (sort-based) and per-shard work is proportional to shard volume — on a
+// single CPU, skipped shards are the entire speedup, which is exactly the
+// rank-aware early-stop claim (parallelism would only add to it).
+type ShardConfig struct {
+	// Rows per table (2-table join).
+	Rows int `json:"rows"`
+	// Keys is the join-key domain size; selectivity is 1/Keys and the range
+	// partition covers [0, Keys).
+	Keys int `json:"keys"`
+	// Seed drives the deterministic workload.
+	Seed int64 `json:"seed"`
+	// K is the LIMIT bound of every session.
+	K int `json:"k"`
+	// Queries is how many sessions to run per shard count.
+	Queries int `json:"queries"`
+	// ShardCounts is the sweep, e.g. 1, 2, 4, 8. Count 1 is the degenerate
+	// coordinator over one shard — the baseline the gate compares against.
+	ShardCounts []int `json:"shard_counts"`
+}
+
+// DefaultShardConfig keeps a full sweep under a minute on one CPU.
+func DefaultShardConfig() ShardConfig {
+	return ShardConfig{
+		Rows:        60000,
+		Keys:        400,
+		Seed:        29,
+		K:           10,
+		Queries:     20,
+		ShardCounts: []int{1, 2, 4, 8},
+	}
+}
+
+// ShardPoint is one shard count's measurements.
+type ShardPoint struct {
+	Shards    int     `json:"shards"`
+	QPS       float64 `json:"qps"`
+	P50Millis float64 `json:"p50_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	// Coordinator counters summed over the point's sessions.
+	Started      int `json:"shards_started"`
+	Pruned       int `json:"shards_pruned"`
+	EarlyStopped int `json:"shards_early_stopped"`
+	Exhausted    int `json:"shards_exhausted"`
+	TuplesPulled int `json:"tuples_pulled"`
+	TuplesSaved  int `json:"tuples_saved"`
+	// EarlyStopRate is the fraction of shard instances the bounds stopped
+	// before exhaustion (pruned before starting or cancelled mid-stream).
+	EarlyStopRate float64 `json:"early_stop_rate"`
+}
+
+// ShardReport is the BENCH_shard.json artifact.
+type ShardReport struct {
+	Config   ShardConfig  `json:"config"`
+	MaxProcs int          `json:"gomaxprocs"`
+	CPUs     int          `json:"cpus"`
+	Points   []ShardPoint `json:"points"`
+	// Speedup4x is qps at shards=4 over qps at shards=1 (0 when either point
+	// is missing from the sweep) — the CI gate's number.
+	Speedup4x float64 `json:"speedup_4x_vs_1x"`
+}
+
+// Shard runs the sweep: for each shard count, one engine serving the skewed
+// catalog answers Queries identical top-k sessions; every session must take
+// the scatter-gather path.
+func Shard(cfg ShardConfig) (*ShardReport, error) {
+	if cfg.Rows < 1 || cfg.Keys < 1 || cfg.K < 1 || cfg.Queries < 1 || len(cfg.ShardCounts) == 0 {
+		return nil, fmt.Errorf("bench: shard config needs positive rows, keys, k, queries, and shard counts")
+	}
+	cat := catalog.New()
+	for i, name := range []string{"T1", "T2"} {
+		rel := workload.Ranked(workload.RankedConfig{
+			Name: name, N: cfg.Rows, Selectivity: 1 / float64(cfg.Keys),
+			Seed: cfg.Seed + int64(i)*7919, ScoreByKey: 1,
+		})
+		cat.AddTable(rel)
+		if _, err := cat.CreateIndex(name, "key", false); err != nil {
+			return nil, err
+		}
+		spec := catalog.PartitionSpec{
+			Column: "key", Kind: catalog.PartitionRange, Lo: 0, Hi: float64(cfg.Keys),
+		}
+		if err := cat.SetPartition(name, spec); err != nil {
+			return nil, err
+		}
+	}
+	sql := fmt.Sprintf("SELECT * FROM T1, T2 WHERE T1.key = T2.key "+
+		"ORDER BY T1.score + T2.score DESC LIMIT %d", cfg.K)
+
+	rep := &ShardReport{
+		Config: cfg, MaxProcs: runtime.GOMAXPROCS(0), CPUs: runtime.NumCPU(),
+	}
+	for _, n := range cfg.ShardCounts {
+		eng := engine.NewWithConfig(cat, engine.Config{Shards: n})
+		if err := eng.ShardError(); err != nil {
+			return nil, err
+		}
+		// Warm the plan cache so measured sessions pay execution, not planning.
+		if resp := eng.Run(engine.Request{SQL: sql, ExplainOnly: true}); resp.Err != nil {
+			return nil, fmt.Errorf("bench: shard warm-up: %w", resp.Err)
+		}
+		point := ShardPoint{Shards: n}
+		latencies := make([]time.Duration, cfg.Queries)
+		start := time.Now()
+		for q := 0; q < cfg.Queries; q++ {
+			t0 := time.Now()
+			resp := eng.Run(engine.Request{ID: fmt.Sprintf("s%d-q%03d", n, q), SQL: sql})
+			latencies[q] = time.Since(t0)
+			if resp.Err != nil {
+				return nil, fmt.Errorf("bench: shards=%d query %d: %w", n, q, resp.Err)
+			}
+			if !resp.Sharded || resp.ShardStats == nil {
+				return nil, fmt.Errorf("bench: shards=%d query %d fell back to the single path", n, q)
+			}
+			st := resp.ShardStats
+			point.Started += st.Started
+			point.Pruned += st.Pruned
+			point.EarlyStopped += st.EarlyStopped
+			point.Exhausted += st.Exhausted
+			point.TuplesPulled += st.TuplesPulled
+			point.TuplesSaved += st.TuplesSaved
+		}
+		total := time.Since(start)
+		point.QPS = float64(cfg.Queries) / total.Seconds()
+		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+		ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+		point.P50Millis = ms(latencies[len(latencies)/2])
+		point.P99Millis = ms(latencies[int(0.99*float64(len(latencies)-1))])
+		point.EarlyStopRate = float64(point.Pruned+point.EarlyStopped) / float64(cfg.Queries*n)
+		rep.Points = append(rep.Points, point)
+	}
+	var qps1, qps4 float64
+	for _, p := range rep.Points {
+		if p.Shards == 1 {
+			qps1 = p.QPS
+		}
+		if p.Shards == 4 {
+			qps4 = p.QPS
+		}
+	}
+	if qps1 > 0 && qps4 > 0 {
+		rep.Speedup4x = qps4 / qps1
+	}
+	return rep, nil
+}
+
+// JSON renders the artifact bytes.
+func (r *ShardReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Table renders the report in the bench text format.
+func (r *ShardReport) Table() *Table {
+	t := &Table{
+		Title: "Sharded scatter-gather scaling",
+		Note: fmt.Sprintf("%d rows/table, %d queries per point, k=%d, GOMAXPROCS=%d, cpus=%d; speedup 4x vs 1x: %.2f",
+			r.Config.Rows, r.Config.Queries, r.Config.K, r.MaxProcs, r.CPUs, r.Speedup4x),
+		Columns: []string{"shards", "qps", "p50_ms", "p99_ms", "pruned", "early_stopped", "exhausted", "early_stop_rate", "tuples_saved"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(float64(p.Shards), p.QPS, p.P50Millis, p.P99Millis,
+			float64(p.Pruned), float64(p.EarlyStopped), float64(p.Exhausted),
+			p.EarlyStopRate, float64(p.TuplesSaved))
+	}
+	return t
+}
+
+// CheckScaling is the CI gate: shards=4 must beat shards=1 by at least min,
+// and the bounds must actually have stopped shards early somewhere.
+func (r *ShardReport) CheckScaling(min float64) error {
+	if r.Speedup4x < min {
+		return fmt.Errorf("bench: shard scaling %.2fx below the %.2fx gate", r.Speedup4x, min)
+	}
+	for _, p := range r.Points {
+		if p.Shards > 1 && p.Pruned+p.EarlyStopped > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("bench: no shard was ever pruned or early-stopped — the bounds did no work")
+}

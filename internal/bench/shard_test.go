@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// A miniature sweep must shard every session, show the bounds doing work on
+// the skewed workload, and produce a well-formed JSON artifact.
+func TestShardSmoke(t *testing.T) {
+	cfg := ShardConfig{
+		Rows: 6000, Keys: 80, Seed: 29, K: 8, Queries: 4,
+		ShardCounts: []int{1, 2, 4},
+	}
+	rep, err := Shard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != len(cfg.ShardCounts) {
+		t.Fatalf("%d points, want %d", len(rep.Points), len(cfg.ShardCounts))
+	}
+	stopped := 0
+	for _, p := range rep.Points {
+		if p.QPS <= 0 {
+			t.Errorf("shards=%d: non-positive QPS %v", p.Shards, p.QPS)
+		}
+		if p.Shards > 1 {
+			stopped += p.Pruned + p.EarlyStopped
+		}
+	}
+	if stopped == 0 {
+		t.Error("skewed workload never pruned or early-stopped a shard")
+	}
+	if rep.CPUs < 1 {
+		t.Errorf("cpus field not stamped: %d", rep.CPUs)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShardReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if back.Config.Rows != cfg.Rows || len(back.Points) != len(rep.Points) {
+		t.Error("artifact lost fields in the round trip")
+	}
+}

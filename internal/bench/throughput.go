@@ -65,6 +65,7 @@ type ThroughputPoint struct {
 type ThroughputReport struct {
 	Config   ThroughputConfig `json:"config"`
 	MaxProcs int              `json:"gomaxprocs"`
+	CPUs     int              `json:"cpus"`
 	// SingleCPU flags runs taken at GOMAXPROCS=1, where multi-worker scaling
 	// is structurally invisible — artifacts say so instead of looking like a
 	// scaling regression.
@@ -128,7 +129,7 @@ func Throughput(cfg ThroughputConfig) (*ThroughputReport, error) {
 	})
 	eng := engine.New(cat, core.Options{Workers: cfg.OptWorkers})
 	reqs := throughputQueries(cfg)
-	report := &ThroughputReport{Config: cfg, MaxProcs: runtime.GOMAXPROCS(0), SingleCPU: runtime.GOMAXPROCS(0) == 1}
+	report := &ThroughputReport{Config: cfg, MaxProcs: runtime.GOMAXPROCS(0), CPUs: runtime.NumCPU(), SingleCPU: runtime.GOMAXPROCS(0) == 1}
 	// Untimed warm-up batch: grows the heap and faults in the catalog pages
 	// once, so the first measured point holds no cold-start advantage over
 	// the later ones.

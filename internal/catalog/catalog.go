@@ -58,6 +58,9 @@ type Table struct {
 // Catalog is the collection of tables known to the engine.
 type Catalog struct {
 	tables map[string]*Table
+	// parts maps table name → declared partitioning spec (see partition.go).
+	// A table without an entry cannot participate in sharded execution.
+	parts map[string]PartitionSpec
 	// epoch counts metadata mutations (table set, indexes, statistics).
 	// Consumers that cache anything derived from catalog statistics — the
 	// engine's plan cache in particular — key their entries on the epoch so

@@ -1,0 +1,225 @@
+// Partitioning metadata and catalog sharding for the scatter-gather serving
+// tier. A PartitionSpec declares how one table's tuples are assigned to
+// shards; Catalog.Shard materializes N per-shard catalogs whose relations are
+// zero-copy views of the parent heaps, with statistics recomputed and every
+// parent index rebuilt per shard (so per-shard plans see honest per-shard
+// stats and access paths).
+package catalog
+
+import (
+	"fmt"
+	"math"
+
+	"rankopt/internal/relation"
+)
+
+// PartitionKind selects the shard-assignment function.
+type PartitionKind uint8
+
+// Supported partitioning schemes.
+const (
+	// PartitionHash assigns tuples by FNV-1a hash of the partition-column
+	// value. Tables hash-partitioned on join-compatible columns are
+	// automatically co-partitioned: equal values land on equal shards.
+	PartitionHash PartitionKind = iota
+	// PartitionRange assigns tuples to equal-width buckets over the declared
+	// [Lo, Hi) interval of a numeric column. Joined tables are co-partitioned
+	// only when they declare identical intervals, which the engine verifies
+	// before sharding a query.
+	PartitionRange
+)
+
+// String returns the spec keyword for the kind.
+func (k PartitionKind) String() string {
+	switch k {
+	case PartitionHash:
+		return "hash"
+	case PartitionRange:
+		return "range"
+	default:
+		return fmt.Sprintf("PartitionKind(%d)", uint8(k))
+	}
+}
+
+// PartitionSpec declares how a table is split across shards. Column names the
+// partition key. For PartitionRange, [Lo, Hi) is the explicit key domain —
+// explicit rather than derived from per-table statistics so that two joined
+// tables can declare the *same* bucket boundaries even when their observed
+// extremes differ (derived bounds would scatter one join group across
+// different shards of the two tables and silently lose join matches).
+type PartitionSpec struct {
+	Column string
+	Kind   PartitionKind
+	Lo, Hi float64
+}
+
+// Compatible reports whether two specs co-partition equal key values onto
+// equal shards at every shard count: same kind, and for range partitioning
+// the same bucket boundaries.
+func (s PartitionSpec) Compatible(o PartitionSpec) bool {
+	if s.Kind != o.Kind {
+		return false
+	}
+	if s.Kind == PartitionRange {
+		return s.Lo == o.Lo && s.Hi == o.Hi
+	}
+	return true
+}
+
+// SetPartition declares table's partitioning. The column must exist; range
+// partitioning additionally requires an explicit non-empty [Lo, Hi) interval
+// over a numeric column. Replaces any previous spec for the table.
+func (c *Catalog) SetPartition(table string, spec PartitionSpec) error {
+	t, err := c.Table(table)
+	if err != nil {
+		return err
+	}
+	if _, err := resolveColumn(t.Rel, table, spec.Column); err != nil {
+		return err
+	}
+	if spec.Kind == PartitionRange {
+		if !(spec.Lo < spec.Hi) {
+			return fmt.Errorf("catalog: range partition on %s.%s needs Lo < Hi (got [%g, %g))",
+				table, spec.Column, spec.Lo, spec.Hi)
+		}
+	}
+	if c.parts == nil {
+		c.parts = map[string]PartitionSpec{}
+	}
+	c.parts[table] = spec
+	c.bumpEpoch()
+	return nil
+}
+
+// PartitionOf returns table's declared partitioning spec, if any.
+func (c *Catalog) PartitionOf(table string) (PartitionSpec, bool) {
+	spec, ok := c.parts[table]
+	return spec, ok
+}
+
+// Shard builds n per-shard catalogs. Every table must have a declared
+// partition spec. Shard relations share the parent tuples (no data copy);
+// statistics are recomputed per shard and every parent index is rebuilt over
+// the shard's tuples, so shard-local plans cost and execute against honest
+// shard-local metadata. The parent catalog is unchanged.
+func (c *Catalog) Shard(n int) ([]*Catalog, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("catalog: shard count %d must be positive", n)
+	}
+	out := make([]*Catalog, n)
+	for i := range out {
+		out[i] = New()
+	}
+	for _, name := range c.Names() {
+		t := c.tables[name]
+		spec, ok := c.parts[name]
+		if !ok {
+			return nil, fmt.Errorf("catalog: table %q has no partition spec", name)
+		}
+		pos, err := resolveColumn(t.Rel, name, spec.Column)
+		if err != nil {
+			return nil, err
+		}
+		assign, err := spec.assigner(n, name, pos)
+		if err != nil {
+			return nil, err
+		}
+		parts, err := t.Rel.PartitionBy(n, assign)
+		if err != nil {
+			return nil, err
+		}
+		for i, rel := range parts {
+			out[i].AddTable(rel)
+			if err := out[i].SetPartition(name, spec); err != nil {
+				return nil, err
+			}
+			for _, idx := range t.Indexes {
+				if _, err := out[i].CreateIndex(idx.Table, idx.Column, idx.Clustered); err != nil {
+					return nil, fmt.Errorf("catalog: rebuilding %s on shard %d: %w", idx.Name, i, err)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// assigner returns the tuple→shard function for the spec, reading the
+// partition key at column position pos. NULL keys go to shard 0 (they join
+// with nothing, so placement is arbitrary but must be deterministic).
+func (s PartitionSpec) assigner(n int, table string, pos int) (func(relation.Tuple) int, error) {
+	switch s.Kind {
+	case PartitionHash:
+		return func(t relation.Tuple) int {
+			v := t[pos]
+			if v.IsNull() {
+				return 0
+			}
+			return int(hashValue(v) % uint64(n))
+		}, nil
+	case PartitionRange:
+		lo, hi := s.Lo, s.Hi
+		if !(lo < hi) {
+			return nil, fmt.Errorf("catalog: range partition on %s.%s needs Lo < Hi", table, s.Column)
+		}
+		width := (hi - lo) / float64(n)
+		return func(t relation.Tuple) int {
+			v := t[pos]
+			if v.IsNull() || !v.Numeric() {
+				return 0
+			}
+			b := int(math.Floor((v.AsFloat() - lo) / width))
+			if b < 0 {
+				b = 0
+			}
+			if b >= n {
+				b = n - 1
+			}
+			return b
+		}, nil
+	default:
+		return nil, fmt.Errorf("catalog: unknown partition kind %v", s.Kind)
+	}
+}
+
+// hashValue computes FNV-1a over the value's canonical representation.
+// Numeric values normalize to their float64 bits (so Int(3) and Float(3)
+// co-locate, matching Value.Equal and HashKey semantics).
+func hashValue(v relation.Value) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix8 := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	switch v.Kind() {
+	case relation.KindInt, relation.KindFloat:
+		mix8(math.Float64bits(v.AsFloat()))
+	case relation.KindString:
+		for _, b := range []byte(v.AsString()) {
+			h ^= uint64(b)
+			h *= prime64
+		}
+	case relation.KindBool:
+		if v.AsBool() {
+			h ^= 1
+		}
+		h *= prime64
+	}
+	return h
+}
+
+// resolveColumn finds column's position in rel's schema, trying the qualified
+// name first and falling back to unqualified resolution (mirrors CreateIndex).
+func resolveColumn(rel *relation.Relation, table, column string) (int, error) {
+	pos, err := rel.Schema().Resolve(table, column)
+	if err == nil {
+		return pos, nil
+	}
+	return rel.Schema().Resolve("", column)
+}

@@ -61,6 +61,12 @@ type Engine struct {
 	logger    *slog.Logger
 	slowQuery time.Duration
 	perTuple  bool
+	// shards are the per-shard catalogs of the scatter-gather tier (see
+	// shard.go); empty when Config.Shards is 0 or construction failed
+	// (shardErr records why). shardWidth caps concurrently running shards.
+	shards     []*catalog.Catalog
+	shardWidth int
+	shardErr   error
 }
 
 // Config controls engine construction beyond the per-session optimizer
@@ -96,6 +102,19 @@ type Config struct {
 	// a baseline for benchmarks and for cross-checking batch results.
 	// Production engines leave it false.
 	PerTupleExec bool
+	// Shards, when positive, builds the sharded scatter-gather tier over the
+	// catalog: every table is partitioned into this many shards (each table
+	// needs a catalog.PartitionSpec) and qualifying top-k sessions run one
+	// pipeline per shard under a rank-aware early-stop coordinator. 1 is the
+	// degenerate single-shard tier (useful as a baseline); 0 disables
+	// sharding entirely. Construction failures (e.g. a table without a
+	// partition spec) disable the tier and are reported by ShardError.
+	Shards int
+	// ShardWidth caps how many shard pipelines of one session run
+	// concurrently; 0 means GOMAXPROCS. Pending shards start in descending
+	// order of their a-priori score ceiling and may be pruned without ever
+	// starting.
+	ShardWidth int
 }
 
 // New constructs an engine over a loaded catalog with the plan cache
@@ -117,6 +136,15 @@ func NewWithConfig(cat *catalog.Catalog, cfg Config) *Engine {
 	}
 	if cfg.MaxConcurrent > 0 {
 		e.adm = newAdmission(cfg.MaxConcurrent, cfg.AdmissionTimeout)
+	}
+	if cfg.Shards > 0 {
+		shards, err := cat.Shard(cfg.Shards)
+		if err != nil {
+			e.shardErr = fmt.Errorf("engine: sharding disabled: %w", err)
+		} else {
+			e.shards = shards
+			e.shardWidth = cfg.ShardWidth
+		}
 	}
 	return e
 }
@@ -210,6 +238,11 @@ type Response struct {
 	// Analyze and traced sessions. Render with
 	// plan.FormatAnalyze(resp.Plan, resp.Analysis).
 	Analysis *plan.AnalyzedPlan
+	// Sharded reports that the session ran on the scatter-gather tier;
+	// ShardStats then carries the coordinator's counters (shards started,
+	// pruned, early-stopped, tuples pulled and saved).
+	Sharded    bool
+	ShardStats *exec.ShardMergeStats
 	// OptTrace is the optimizer decision trace of a traced session (see
 	// Request.Trace); render with OptTrace.Format().
 	OptTrace *core.DecisionTrace
@@ -452,6 +485,20 @@ func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimit
 	if req.ExplainOnly {
 		resp.Elapsed = time.Since(start)
 		return resp
+	}
+	// Sharded tier: qualifying plans run one pipeline per shard under the
+	// early-stop coordinator. Analyze and traced sessions stay on the single
+	// path (their per-operator instrumentation assumes one tree); plans the
+	// partitioning cannot cover fall back and are counted.
+	if len(e.shards) > 0 && !req.Analyze && tr == nil {
+		if k, ok := e.shardable(root); ok {
+			if err := e.runSharded(ctx, &resp, root, k, exec.NewBudget(limits)); err != nil {
+				return fail(err)
+			}
+			resp.Elapsed = time.Since(start)
+			return resp
+		}
+		e.met.shardFallbacks.Add(1)
 	}
 	type tracedJoin struct {
 		node *plan.Node

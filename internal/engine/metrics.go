@@ -68,6 +68,18 @@ type metrics struct {
 	traced      atomic.Uint64
 	slowQueries atomic.Uint64
 
+	// shardedQueries..shardTuplesSaved aggregate the scatter-gather tier:
+	// sessions served by the coordinator, sessions that fell back to the
+	// single path despite sharding being on, and the coordinator's shard
+	// outcomes (started / pruned before starting / cancelled mid-stream by
+	// the bound test) with the shard output the bounds avoided pulling.
+	shardedQueries     atomic.Uint64
+	shardFallbacks     atomic.Uint64
+	shardsStarted      atomic.Uint64
+	shardsPruned       atomic.Uint64
+	shardsEarlyStopped atomic.Uint64
+	shardTuplesSaved   atomic.Uint64
+
 	// optRuns..optProtected aggregate the optimizer's enumeration and
 	// pruning work over fresh (non-cache-hit) optimizations, the engine-wide
 	// view of the Section 3.3 pruning rates.
@@ -87,6 +99,16 @@ func (m *metrics) observeOptimize(c plan.PlanCounters) {
 	m.optGenerated.Add(uint64(c.Generated))
 	m.optPruned.Add(uint64(c.Pruned))
 	m.optProtected.Add(uint64(c.Protected))
+}
+
+// observeSharded folds one sharded session's coordinator stats into the
+// engine-wide shard counters.
+func (m *metrics) observeSharded(st *exec.ShardMergeStats) {
+	m.shardedQueries.Add(1)
+	m.shardsStarted.Add(uint64(st.Started))
+	m.shardsPruned.Add(uint64(st.Pruned))
+	m.shardsEarlyStopped.Add(uint64(st.EarlyStopped))
+	m.shardTuplesSaved.Add(uint64(st.TuplesSaved))
 }
 
 // bucketFor maps a session latency to its histogram bucket.
@@ -154,6 +176,15 @@ type Metrics struct {
 	TracedQueries uint64 `json:"traced_queries"`
 	SlowQueries   uint64 `json:"slow_queries"`
 
+	// ShardedQueries..ShardTuplesSaved report the scatter-gather tier (all
+	// zero on an unsharded engine).
+	ShardedQueries     uint64 `json:"sharded_queries"`
+	ShardFallbacks     uint64 `json:"shard_fallbacks"`
+	ShardsStarted      uint64 `json:"shards_started"`
+	ShardsPruned       uint64 `json:"shards_pruned"`
+	ShardsEarlyStopped uint64 `json:"shards_early_stopped"`
+	ShardTuplesSaved   uint64 `json:"shard_tuples_saved"`
+
 	// OptimizerRuns..PlansProtected aggregate fresh (non-cached) optimizer
 	// runs: candidates enumerated, discarded by the Section 3.3 pruning, and
 	// pipelined plans kept alive by the First-N-Rows protection.
@@ -220,23 +251,29 @@ func readRuntimeStats() RuntimeStats {
 // sessions — fine for monitoring, which is its job.
 func (e *Engine) Snapshot() Metrics {
 	m := Metrics{
-		Queries:           e.met.queries.Load(),
-		Errors:            e.met.errors.Load(),
-		Analyzed:          e.met.analyzed.Load(),
-		TuplesReturned:    e.met.tuples.Load(),
-		QueriesCancelled:  e.met.cancelled.Load(),
-		QueriesDeadlined:  e.met.deadlined.Load(),
-		QueriesOverBudget: e.met.overBudget.Load(),
-		AdmissionTimeouts: e.met.admissionTimeouts.Load(),
-		AdmissionWaiting:  e.met.admissionWaiting.Load(),
-		InFlight:          e.adm.inFlight(),
-		TracedQueries:     e.met.traced.Load(),
-		SlowQueries:       e.met.slowQueries.Load(),
-		OptimizerRuns:     e.met.optRuns.Load(),
-		PlansGenerated:    e.met.optGenerated.Load(),
-		PlansPruned:       e.met.optPruned.Load(),
-		PlansProtected:    e.met.optProtected.Load(),
-		Runtime:           readRuntimeStats(),
+		Queries:            e.met.queries.Load(),
+		Errors:             e.met.errors.Load(),
+		Analyzed:           e.met.analyzed.Load(),
+		TuplesReturned:     e.met.tuples.Load(),
+		QueriesCancelled:   e.met.cancelled.Load(),
+		QueriesDeadlined:   e.met.deadlined.Load(),
+		QueriesOverBudget:  e.met.overBudget.Load(),
+		AdmissionTimeouts:  e.met.admissionTimeouts.Load(),
+		AdmissionWaiting:   e.met.admissionWaiting.Load(),
+		InFlight:           e.adm.inFlight(),
+		TracedQueries:      e.met.traced.Load(),
+		SlowQueries:        e.met.slowQueries.Load(),
+		ShardedQueries:     e.met.shardedQueries.Load(),
+		ShardFallbacks:     e.met.shardFallbacks.Load(),
+		ShardsStarted:      e.met.shardsStarted.Load(),
+		ShardsPruned:       e.met.shardsPruned.Load(),
+		ShardsEarlyStopped: e.met.shardsEarlyStopped.Load(),
+		ShardTuplesSaved:   e.met.shardTuplesSaved.Load(),
+		OptimizerRuns:      e.met.optRuns.Load(),
+		PlansGenerated:     e.met.optGenerated.Load(),
+		PlansPruned:        e.met.optPruned.Load(),
+		PlansProtected:     e.met.optProtected.Load(),
+		Runtime:            readRuntimeStats(),
 	}
 	cs := e.CacheStats()
 	m.CacheHits, m.CacheMisses = cs.Hits, cs.Misses
@@ -331,6 +368,12 @@ func (e *Engine) serveMetricsText(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE raqo_plan_cache_entries gauge\nraqo_plan_cache_entries %d\n", m.CacheEntries)
 	fmt.Fprintf(w, "# TYPE raqo_traced_queries_total counter\nraqo_traced_queries_total %d\n", m.TracedQueries)
 	fmt.Fprintf(w, "# TYPE raqo_slow_queries_total counter\nraqo_slow_queries_total %d\n", m.SlowQueries)
+	fmt.Fprintf(w, "# TYPE raqo_sharded_queries_total counter\nraqo_sharded_queries_total %d\n", m.ShardedQueries)
+	fmt.Fprintf(w, "# TYPE raqo_shard_fallbacks_total counter\nraqo_shard_fallbacks_total %d\n", m.ShardFallbacks)
+	fmt.Fprintf(w, "# TYPE raqo_shards_started_total counter\nraqo_shards_started_total %d\n", m.ShardsStarted)
+	fmt.Fprintf(w, "# TYPE raqo_shards_pruned_total counter\nraqo_shards_pruned_total %d\n", m.ShardsPruned)
+	fmt.Fprintf(w, "# TYPE raqo_shards_early_stopped_total counter\nraqo_shards_early_stopped_total %d\n", m.ShardsEarlyStopped)
+	fmt.Fprintf(w, "# TYPE raqo_shard_tuples_saved_total counter\nraqo_shard_tuples_saved_total %d\n", m.ShardTuplesSaved)
 	fmt.Fprintf(w, "# TYPE raqo_optimizer_runs_total counter\nraqo_optimizer_runs_total %d\n", m.OptimizerRuns)
 	fmt.Fprintf(w, "# TYPE raqo_optimizer_plans_generated_total counter\nraqo_optimizer_plans_generated_total %d\n", m.PlansGenerated)
 	fmt.Fprintf(w, "# TYPE raqo_optimizer_plans_pruned_total counter\nraqo_optimizer_plans_pruned_total %d\n", m.PlansPruned)

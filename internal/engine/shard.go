@@ -1,0 +1,198 @@
+package engine
+
+// This file is the engine half of the sharded scatter-gather serving tier.
+// When Config.Shards is set, the engine builds per-shard catalogs once at
+// construction (zero-copy partitions of the parent heaps, per-shard stats and
+// indexes) and routes every qualifying top-k session through the coordinator
+// path: the optimizer runs once against the full catalog, the winning plan is
+// cloned and rebound per shard, and an exec.ShardMerge gathers the shard
+// pipelines under the rank-aware early-stop bounds. Sessions whose plan shape
+// or partitioning cannot be sharded safely fall back to the single-engine
+// path (counted in the shard_fallbacks metric), so enabling sharding never
+// changes which queries are answerable.
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"rankopt/internal/catalog"
+	"rankopt/internal/exec"
+	"rankopt/internal/expr"
+	"rankopt/internal/plan"
+)
+
+// ShardCount reports how many shards the engine serves from (0 = unsharded).
+func (e *Engine) ShardCount() int { return len(e.shards) }
+
+// ShardError reports why Config.Shards could not be honored (for example a
+// table without a partition spec); nil when sharding is off or active.
+func (e *Engine) ShardError() error { return e.shardErr }
+
+// shardable reports whether the session's plan can run on the sharded tier,
+// returning the global k. The requirements are exactly the ones the
+// correctness argument needs:
+//
+//   - the root is Limit(k>0) over Rank — the coordinator merges on the score
+//     column Rank appends and rewrites its rank column, so both must be the
+//     plan's final output (an explicit SELECT list compiles a Project above
+//     the Limit and falls back);
+//   - every base table carries a partition spec;
+//   - every join node equates partition columns of its two sides under
+//     compatible specs, so joining tuples always co-locate on one shard and
+//     the union of per-shard join results is the global join result.
+func (e *Engine) shardable(root *plan.Node) (int, bool) {
+	if len(e.shards) == 0 || root == nil {
+		return 0, false
+	}
+	if root.Op != plan.OpLimit || root.K <= 0 || len(root.Children) != 1 {
+		return 0, false
+	}
+	rank := root.Input()
+	if rank.Op != plan.OpRank || len(rank.Children) != 1 {
+		return 0, false
+	}
+	body := rank.Input()
+	for _, t := range body.Tables() {
+		if _, ok := e.cat.PartitionOf(t); !ok {
+			return 0, false
+		}
+	}
+	ok := true
+	body.Walk(func(n *plan.Node) {
+		if !ok {
+			return
+		}
+		switch n.Op {
+		case plan.OpNLJ, plan.OpINLJ, plan.OpHashJoin, plan.OpMergeJoin, plan.OpHRJN, plan.OpNRJN:
+			if !e.joinCoPartitioned(n) {
+				ok = false
+			}
+		case plan.OpRankAgg:
+			if !e.taCoPartitioned(n) {
+				ok = false
+			}
+		}
+	})
+	if !ok {
+		return 0, false
+	}
+	return root.K, true
+}
+
+// joinCoPartitioned reports whether some equi-predicate of the join equates
+// the partition columns of its two tables under compatible specs. One such
+// predicate suffices: it already restricts matches to co-located tuples, and
+// the remaining predicates only filter further.
+func (e *Engine) joinCoPartitioned(n *plan.Node) bool {
+	for _, p := range n.EqPreds {
+		ls, lok := e.cat.PartitionOf(p.L.Table)
+		rs, rok := e.cat.PartitionOf(p.R.Table)
+		if lok && rok && ls.Column == p.L.Name && rs.Column == p.R.Name && ls.Compatible(rs) {
+			return true
+		}
+	}
+	return false
+}
+
+// taCoPartitioned reports whether a TA rank-aggregate's inputs are all
+// partitioned on their shared object-id column under compatible specs, so an
+// object's rows across all inputs land on one shard.
+func (e *Engine) taCoPartitioned(n *plan.Node) bool {
+	if len(n.TAInputs) == 0 {
+		return false
+	}
+	var first catalog.PartitionSpec
+	for i, ti := range n.TAInputs {
+		spec, ok := e.cat.PartitionOf(ti.Rel.Name)
+		if !ok {
+			return false
+		}
+		idCol := ti.Rel.Schema().Column(ti.IDPos).Name
+		if spec.Column != idCol {
+			return false
+		}
+		if i == 0 {
+			first = spec
+		} else if !first.Compatible(spec) {
+			return false
+		}
+	}
+	return true
+}
+
+// shardCeiling computes an a-priori upper bound on any score shard catalog sc
+// can produce: each column score term contributes weight·max (weight·min for
+// negative weights) from the shard's own statistics. Non-column terms or
+// missing statistics yield +Inf (never prune on a bound we cannot prove); a
+// shard where any scored table is empty yields -Inf (it cannot produce a
+// single result and need never start).
+func shardCeiling(sc *catalog.Catalog, score expr.ScoreSum) float64 {
+	if len(score.Terms) == 0 {
+		return math.Inf(1)
+	}
+	total := 0.0
+	for _, term := range score.Terms {
+		cr, ok := term.E.(expr.ColRef)
+		if !ok {
+			return math.Inf(1)
+		}
+		tab, err := sc.Table(cr.Table)
+		if err != nil {
+			return math.Inf(1)
+		}
+		if tab.Stats.Card == 0 {
+			return math.Inf(-1)
+		}
+		st, ok := tab.Stats.Cols[cr.Name]
+		if !ok {
+			return math.Inf(1)
+		}
+		if term.Weight >= 0 {
+			total += term.Weight * st.Max
+		} else {
+			total += term.Weight * st.Min
+		}
+	}
+	return total
+}
+
+// runSharded executes the session on the sharded tier: one plan clone
+// rebound and compiled per shard (all charging the session's shared budget),
+// gathered by a ShardMerge whose start width is Config.ShardWidth. It fills
+// the response's tuples, columns, and shard statistics.
+func (e *Engine) runSharded(ctx context.Context, resp *Response, root *plan.Node, k int, budget *exec.Budget) error {
+	score := root.Input().Score
+	inputs := make([]exec.ShardInput, len(e.shards))
+	for i, sc := range e.shards {
+		clone := root.Clone()
+		if err := plan.Rebind(clone, sc); err != nil {
+			return fmt.Errorf("engine: shard %d: %w", i, err)
+		}
+		op, err := plan.CompileWith(sc, clone, plan.Config{Budget: budget, ScalarRef: e.perTuple})
+		if err != nil {
+			return fmt.Errorf("engine: shard %d compile: %w", i, err)
+		}
+		inputs[i] = exec.ShardInput{Op: op, Ceiling: shardCeiling(sc, score)}
+	}
+	merge, err := exec.NewShardMerge(inputs, k, budget)
+	if err != nil {
+		return err
+	}
+	merge.StartWidth = e.shardWidth
+	tuples, err := exec.CollectPerTupleCtx(ctx, merge)
+	if err != nil {
+		return fmt.Errorf("engine: execute: %w", err)
+	}
+	st := merge.Stats()
+	resp.Tuples = tuples
+	resp.Sharded = true
+	resp.ShardStats = &st
+	sch := merge.Schema()
+	resp.Columns = make([]string, sch.Len())
+	for i := 0; i < sch.Len(); i++ {
+		resp.Columns[i] = sch.Column(i).QualifiedName()
+	}
+	e.met.observeSharded(&st)
+	return nil
+}

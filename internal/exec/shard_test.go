@@ -1,0 +1,430 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rankopt/internal/relation"
+)
+
+// shardSchema is the shape shard pipelines hand the coordinator: payload
+// columns followed by the score and rank RankAssign appends.
+func shardSchema() *relation.Schema {
+	return relation.NewSchema(
+		relation.Column{Table: "T", Name: "id", Kind: relation.KindInt},
+		relation.Column{Name: "score", Kind: relation.KindFloat},
+		relation.Column{Name: "rank", Kind: relation.KindInt},
+	)
+}
+
+// shardStream builds a shard input emitting the given scores in order, with
+// ids numbered base, base+1, ... and per-shard ranks 1..n.
+func shardStream(base int, scores ...float64) Operator {
+	tuples := make([]relation.Tuple, len(scores))
+	for i, s := range scores {
+		tuples[i] = relation.Tuple{
+			relation.Int(int64(base + i)), relation.Float(s), relation.Int(int64(i + 1)),
+		}
+	}
+	return FromTuples(shardSchema(), tuples)
+}
+
+// descendingForever emits an unbounded strictly descending score stream; only
+// the worker's per-tuple context check can stop it. emitted counts tuples
+// produced, so tests can prove the early stop actually limited shard work.
+type descendingForever struct {
+	start   float64
+	step    float64
+	next    float64
+	emitted atomic.Int64
+	opens   atomic.Int64
+	closes  atomic.Int64
+}
+
+func (d *descendingForever) Schema() *relation.Schema { return shardSchema() }
+func (d *descendingForever) Open() error              { d.opens.Add(1); d.next = d.start; return nil }
+func (d *descendingForever) Close() error             { d.closes.Add(1); return nil }
+func (d *descendingForever) Next() (relation.Tuple, bool, error) {
+	n := d.emitted.Add(1)
+	s := d.next
+	d.next -= d.step
+	return relation.Tuple{relation.Int(n), relation.Float(s), relation.Int(n)}, true, nil
+}
+
+func mergeScores(t *testing.T, out []relation.Tuple) []float64 {
+	t.Helper()
+	scores := make([]float64, len(out))
+	for i, tup := range out {
+		v, ok := tup[1].Float64()
+		if !ok {
+			t.Fatalf("tuple %d has non-numeric score %v", i, tup[1])
+		}
+		scores[i] = v
+	}
+	return scores
+}
+
+// TestShardMergeMatchesGlobalTopK: merging per-shard descending streams must
+// yield exactly the top-k of the union, in descending order with global ranks.
+func TestShardMergeMatchesGlobalTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const shards, perShard, k = 5, 40, 12
+	var all []float64
+	inputs := make([]ShardInput, shards)
+	for s := 0; s < shards; s++ {
+		scores := make([]float64, perShard)
+		for i := range scores {
+			scores[i] = rng.Float64() * 100
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+		all = append(all, scores...)
+		inputs[s] = ShardInput{Op: shardStream(s*perShard, scores...), Ceiling: scores[0]}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(all)))
+
+	m, err := NewShardMerge(inputs, k, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mergeScores(t, out)
+	if len(got) != k {
+		t.Fatalf("got %d tuples, want %d", len(got), k)
+	}
+	for i := range got {
+		if got[i] != all[i] {
+			t.Fatalf("rank %d: score %v, want %v", i+1, got[i], all[i])
+		}
+		if r := out[i][2].AsInt(); r != int64(i+1) {
+			t.Fatalf("rank %d: rank column %d", i+1, r)
+		}
+	}
+	st := m.Stats()
+	if st.Shards != shards || st.KthScore != got[k-1] {
+		t.Fatalf("stats %+v, want shards=%d kth=%v", st, shards, got[k-1])
+	}
+	if st.TuplesPulled+st.TuplesSaved < shards*k && st.Exhausted+st.EarlyStopped+st.Pruned != shards {
+		t.Fatalf("shard dispositions don't cover all shards: %+v", st)
+	}
+}
+
+// TestShardMergeDeterministic: same inputs twice must produce identical
+// tuples, including among tied scores.
+func TestShardMergeDeterministic(t *testing.T) {
+	build := func() []ShardInput {
+		return []ShardInput{
+			{Op: shardStream(0, 5, 5, 3, 3), Ceiling: 5},
+			{Op: shardStream(10, 5, 3, 3, 1), Ceiling: 5},
+			{Op: shardStream(20, 5, 5, 5, 3), Ceiling: 5},
+		}
+	}
+	run := func() []string {
+		m, err := NewShardMerge(build(), 6, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Collect(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]string, len(out))
+		for i, tup := range out {
+			rows[i] = tup.String()
+		}
+		return rows
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across runs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestShardMergePrunesByCeiling: with StartWidth 1 and descending-ceiling
+// launch order, a shard whose a-priori ceiling cannot beat the k-th score
+// must never start — its operator is never opened.
+func TestShardMergePrunesByCeiling(t *testing.T) {
+	weak := &descendingForever{start: 0.5, step: 0.001}
+	inputs := []ShardInput{
+		{Op: shardStream(0, 10, 9, 8), Ceiling: 10},
+		{Op: weak, Ceiling: 0.5},
+	}
+	m, err := NewShardMerge(inputs, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StartWidth = 1
+	out, err := Collect(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mergeScores(t, out); len(got) != 3 || got[2] != 8 {
+		t.Fatalf("top-3 = %v", got)
+	}
+	st := m.Stats()
+	if st.Pruned != 1 || st.Started != 1 || st.TuplesSaved < 3 {
+		t.Fatalf("stats %+v, want pruned=1 started=1 saved>=3", st)
+	}
+	if weak.opens.Load() != 0 {
+		t.Fatalf("pruned shard was opened %d times", weak.opens.Load())
+	}
+}
+
+// TestShardMergeEarlyStopsMidStream: a running shard whose last-emitted score
+// falls to or below the k-th buffered score must be cancelled promptly — an
+// unbounded stream must not be drained past the bound.
+func TestShardMergeEarlyStopsMidStream(t *testing.T) {
+	weak := &descendingForever{start: 100, step: 1}
+	inputs := []ShardInput{
+		{Op: shardStream(0, 1000, 999, 998), Ceiling: 1000},
+		{Op: weak, Ceiling: math.Inf(1)}, // unknown ceiling: must start
+	}
+	m, err := NewShardMerge(inputs, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.StartWidth = 2
+	out, err := Collect(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mergeScores(t, out); got[0] != 1000 || got[2] != 998 {
+		t.Fatalf("top-3 = %v", got)
+	}
+	st := m.Stats()
+	// The unbounded shard must be stopped; the finite shard may also count as
+	// early-stopped when its final tuple drops its bound exactly to the k-th.
+	if st.EarlyStopped < 1 || st.Started != 2 {
+		t.Fatalf("stats %+v, want started=2 early_stopped>=1", st)
+	}
+	// The worker checks its context once per tuple, and channel backpressure
+	// bounds how far ahead it can run; well under 100 tuples either way.
+	if n := weak.emitted.Load(); n >= 100 {
+		t.Fatalf("early-stopped shard emitted %d tuples", n)
+	}
+	if weak.opens.Load() != 1 || weak.closes.Load() != 1 {
+		t.Fatalf("open/close %d/%d, want 1/1", weak.opens.Load(), weak.closes.Load())
+	}
+}
+
+// TestShardMergeMonotonicViolation: a shard stream that rises above its own
+// observed bound breaks the correctness argument and must fail loudly.
+func TestShardMergeMonotonicViolation(t *testing.T) {
+	inputs := ShardInputs(shardStream(0, 5, 3, 9))
+	m, err := NewShardMerge(inputs, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Open(); err == nil || !strings.Contains(err.Error(), "descend") {
+		t.Fatalf("Open = %v, want monotonicity error", err)
+	}
+}
+
+// TestShardMergeWorkerError: one shard's pipeline error fails the whole
+// gather, and every worker is joined and closed before OpenCtx returns.
+func TestShardMergeWorkerError(t *testing.T) {
+	boom := errors.New("disk on fire")
+	bad := &errAfterOp{schema: shardSchema(), after: 2, err: boom}
+	weak := &descendingForever{start: 50, step: 0.5}
+	inputs := []ShardInput{
+		{Op: bad, Ceiling: math.Inf(1)},
+		{Op: weak, Ceiling: math.Inf(1)},
+	}
+	m, err := NewShardMerge(inputs, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Open(); !errors.Is(err, boom) {
+		t.Fatalf("Open = %v, want %v", err, boom)
+	}
+	if weak.opens.Load() != weak.closes.Load() {
+		t.Fatalf("surviving shard open/close unbalanced: %d/%d", weak.opens.Load(), weak.closes.Load())
+	}
+}
+
+// errAfterOp emits descending scores then fails.
+type errAfterOp struct {
+	schema *relation.Schema
+	after  int
+	err    error
+	n      int
+}
+
+func (e *errAfterOp) Schema() *relation.Schema { return e.schema }
+func (e *errAfterOp) Open() error              { e.n = 0; return nil }
+func (e *errAfterOp) Close() error             { return nil }
+func (e *errAfterOp) Next() (relation.Tuple, bool, error) {
+	if e.n >= e.after {
+		return nil, false, e.err
+	}
+	e.n++
+	return relation.Tuple{relation.Int(int64(e.n)), relation.Float(100 - float64(e.n)), relation.Int(int64(e.n))}, true, nil
+}
+
+// TestShardMergeQueryCancellation: cancelling the query context mid-gather
+// must surface the typed cancellation error and join every shard worker —
+// the goroutine-leak regression test for the coordinator teardown path.
+func TestShardMergeQueryCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	streams := make([]*descendingForever, 4)
+	inputs := make([]ShardInput, len(streams))
+	for i := range streams {
+		streams[i] = &descendingForever{start: 1e9, step: 1e-6}
+		inputs[i] = ShardInput{Op: streams[i], Ceiling: math.Inf(1)}
+	}
+	m, err := NewShardMerge(inputs, 1<<30, nil) // k too large to ever fill
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if err := m.OpenCtx(ctx); !errors.Is(err, ErrQueryCancelled) {
+		t.Fatalf("OpenCtx = %v, want ErrQueryCancelled", err)
+	}
+	for i, s := range streams {
+		if s.opens.Load() != s.closes.Load() {
+			t.Fatalf("shard %d open/close unbalanced: %d/%d", i, s.opens.Load(), s.closes.Load())
+		}
+	}
+	// OpenCtx joins its workers before returning; allow the runtime a moment
+	// to retire them before comparing goroutine counts.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// TestShardMergeCloseAfterPartialRead: reading part of the output and closing
+// must release the budget charge (the scatter was already torn down by the
+// blocking gather).
+func TestShardMergeCloseAfterPartialRead(t *testing.T) {
+	budget := NewBudget(ResourceLimits{MaxBufferedTuples: 8})
+	inputs := ShardInputs(shardStream(0, 9, 8, 7), shardStream(10, 6, 5, 4))
+	m, err := NewShardMerge(inputs, 4, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := m.Next(); err != nil || !ok {
+		t.Fatalf("Next = %v, %v", ok, err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := budget.Buffered(); got != 0 {
+		t.Fatalf("budget still holds %d tuples after Close", got)
+	}
+}
+
+// TestShardMergeBudgetExceeded: the coordinator's heap charges the shared
+// budget like every other buffering operator.
+func TestShardMergeBudgetExceeded(t *testing.T) {
+	budget := NewBudget(ResourceLimits{MaxBufferedTuples: 3})
+	inputs := ShardInputs(shardStream(0, 9, 8, 7, 6, 5))
+	m, err := NewShardMerge(inputs, 5, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Open(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Open = %v, want ErrBudgetExceeded", err)
+	}
+	if got := budget.Buffered(); got != 0 {
+		t.Fatalf("budget still holds %d tuples after failed Open", got)
+	}
+}
+
+// TestShardMergeNullScores: NULL scores sort after every real score, like
+// ORDER BY ... DESC.
+func TestShardMergeNullScores(t *testing.T) {
+	sch := shardSchema()
+	withNull := FromTuples(sch, []relation.Tuple{
+		{relation.Int(1), relation.Float(4), relation.Int(1)},
+		{relation.Int(2), relation.Null(), relation.Int(2)},
+	})
+	inputs := ShardInputs(withNull, shardStream(10, 3, 2))
+	m, err := NewShardMerge(inputs, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 || !out[3][1].IsNull() {
+		t.Fatalf("NULL score must sort last: %v", out)
+	}
+}
+
+// TestShardMergeValidation covers constructor rejections.
+func TestShardMergeValidation(t *testing.T) {
+	if _, err := NewShardMerge(nil, 3, nil); err == nil {
+		t.Fatal("empty inputs must be rejected")
+	}
+	if _, err := NewShardMerge(ShardInputs(shardStream(0, 1)), 0, nil); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+	noScore := FromTuples(relation.NewSchema(
+		relation.Column{Name: "id", Kind: relation.KindInt},
+	), nil)
+	if _, err := NewShardMerge(ShardInputs(noScore), 1, nil); err == nil {
+		t.Fatal("schema without score column must be rejected")
+	}
+}
+
+// TestShardScatterStopLatency: Stop on one shard must not disturb the others,
+// and the stopped worker reports the typed cancellation.
+func TestShardScatterStopLatency(t *testing.T) {
+	fast := &descendingForever{start: 1e6, step: 1}
+	inputs := []ShardInput{
+		{Op: fast, Ceiling: math.Inf(1)},
+		{Op: shardStream(0, 3, 2, 1), Ceiling: 3},
+	}
+	s := NewShardScatter(inputs, 4)
+	ctx := context.Background()
+	s.Start(ctx, 0)
+	s.Start(ctx, 1)
+	s.Stop(0)
+	var done0, done1 bool
+	var tuples1 int
+	for !done0 || !done1 {
+		msg := s.Recv()
+		switch {
+		case msg.Done && msg.Shard == 0:
+			done0 = true
+			if !errors.Is(msg.Err, ErrQueryCancelled) {
+				t.Fatalf("stopped shard err = %v", msg.Err)
+			}
+		case msg.Done && msg.Shard == 1:
+			done1 = true
+			if msg.Err != nil {
+				t.Fatalf("surviving shard err = %v", msg.Err)
+			}
+		case msg.Shard == 1:
+			tuples1++
+		}
+	}
+	s.Wait()
+	if tuples1 != 3 {
+		t.Fatalf("surviving shard delivered %d tuples, want 3", tuples1)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"rankopt/internal/core"
 	"rankopt/internal/exec"
 	"rankopt/internal/expr"
+	"rankopt/internal/logical"
 	"rankopt/internal/plan"
 	"rankopt/internal/relation"
 	"rankopt/internal/sqlparse"
@@ -173,16 +174,10 @@ func (c Case) bruteForce(terms []scoreTerm, filters map[string]int64) ([]float64
 	return scores, nil
 }
 
-// Run parses, optimizes with every alternative retained, executes each plan,
-// and compares every score sequence against the brute-force reference.
-// A nil error means all plans agreed.
-func Run(c Case) (Report, error) {
-	q, err := sqlparse.Parse(c.SQL)
-	if err != nil {
-		return Report{}, fmt.Errorf("seed %d: parse %q: %w", c.Seed, c.SQL, err)
-	}
-	// Recover the generated weights and filters from the parsed query so the
-	// reference cannot drift from what the engine actually executes.
+// reference recovers the generated weights and filters from the parsed query
+// (so the reference cannot drift from what the engine actually executes) and
+// computes the brute-force top-k score sequence.
+func (c Case) reference(q *logical.Query) ([]float64, error) {
 	terms := make([]scoreTerm, 0, len(q.Score.Terms))
 	for _, t := range q.Score.Terms {
 		terms = append(terms, scoreTerm{table: t.Table(), weight: t.Weight})
@@ -193,19 +188,33 @@ func Run(c Case) (Report, error) {
 		// Generated filters are always "T.id < bound".
 		bin, ok := f.(expr.Binary)
 		if !ok || bin.Op != expr.OpLt {
-			return Report{}, fmt.Errorf("seed %d: unexpected filter %q", c.Seed, f.String())
+			return nil, fmt.Errorf("seed %d: unexpected filter %q", c.Seed, f.String())
 		}
 		col, okL := bin.L.(expr.ColRef)
 		cst, okR := bin.R.(expr.Const)
 		if !okL || !okR {
-			return Report{}, fmt.Errorf("seed %d: unexpected filter shape %q", c.Seed, f.String())
+			return nil, fmt.Errorf("seed %d: unexpected filter shape %q", c.Seed, f.String())
 		}
 		filters[col.Table] = cst.V.AsInt()
 	}
-
 	want, err := c.bruteForce(terms, filters)
 	if err != nil {
-		return Report{}, fmt.Errorf("seed %d: brute force: %w", c.Seed, err)
+		return nil, fmt.Errorf("seed %d: brute force: %w", c.Seed, err)
+	}
+	return want, nil
+}
+
+// Run parses, optimizes with every alternative retained, executes each plan,
+// and compares every score sequence against the brute-force reference.
+// A nil error means all plans agreed.
+func Run(c Case) (Report, error) {
+	q, err := sqlparse.Parse(c.SQL)
+	if err != nil {
+		return Report{}, fmt.Errorf("seed %d: parse %q: %w", c.Seed, c.SQL, err)
+	}
+	want, err := c.reference(q)
+	if err != nil {
+		return Report{}, err
 	}
 
 	res, err := core.Optimize(c.cat, q, core.Options{CollectAllPlans: true})

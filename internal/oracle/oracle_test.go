@@ -41,6 +41,29 @@ func TestDifferentialCorpus(t *testing.T) {
 	}
 }
 
+// TestShardedDifferentialCorpus runs every corpus case through full engines
+// at shard counts 1, 2, and 4 plus an unsharded engine, asserting all four
+// top-k score sequences match the brute-force reference. Shard count 1 is the
+// degenerate coordinator (one shard holding everything); 2 and 4 exercise
+// real partitioning, per-shard planning, and the early-stop merge.
+func TestShardedDifferentialCorpus(t *testing.T) {
+	n := corpusSize()
+	sharded := 0
+	for seed := int64(1); seed <= int64(n); seed++ {
+		c := Generate(seed)
+		rep, err := RunSharded(c, 1, 2, 4)
+		if err != nil {
+			writeReproducer(t, c, err)
+			t.Fatalf("sharded oracle disagreement: %v", err)
+		}
+		sharded += rep.Sharded
+	}
+	t.Logf("sharded oracle: %d queries x 3 shard counts, %d sharded runs, all agreed", n, sharded)
+	if sharded != 3*n {
+		t.Fatalf("expected every run to shard: %d of %d", sharded, 3*n)
+	}
+}
+
 // TestGenerateDeterministic pins that a seed reproduces its case exactly —
 // the property that makes a one-line reproducer sufficient.
 func TestGenerateDeterministic(t *testing.T) {

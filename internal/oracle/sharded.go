@@ -1,0 +1,82 @@
+package oracle
+
+import (
+	"fmt"
+
+	"rankopt/internal/catalog"
+	"rankopt/internal/engine"
+	"rankopt/internal/sqlparse"
+)
+
+// ShardReport summarizes one sharded differential run.
+type ShardReport struct {
+	SQL string
+	// Counts are the shard counts exercised.
+	Counts []int
+	// Sharded is how many of those runs actually took the scatter-gather
+	// path (vs falling back to the single-engine path).
+	Sharded int
+	// Results is the agreed result count.
+	Results int
+}
+
+// RunSharded executes the case through full engines — one unsharded, one per
+// shard count — and asserts every top-k score sequence agrees with the
+// brute-force reference. The catalog is hash-partitioned on the join key, so
+// every generated query (chain equi-joins on "key") is co-partitioned and
+// eligible for the scatter-gather path; a run that nonetheless falls back is
+// still checked for correctness but not counted as sharded.
+func RunSharded(c Case, counts ...int) (ShardReport, error) {
+	q, err := sqlparse.Parse(c.SQL)
+	if err != nil {
+		return ShardReport{}, fmt.Errorf("seed %d: parse %q: %w", c.Seed, c.SQL, err)
+	}
+	want, err := c.reference(q)
+	if err != nil {
+		return ShardReport{}, err
+	}
+	for _, name := range c.names {
+		spec := catalog.PartitionSpec{Column: "key", Kind: catalog.PartitionHash}
+		if err := c.cat.SetPartition(name, spec); err != nil {
+			return ShardReport{}, fmt.Errorf("seed %d: partition %s: %w", c.Seed, name, err)
+		}
+	}
+
+	rep := ShardReport{SQL: c.SQL, Counts: counts, Results: len(want)}
+	check := func(label string, eng *engine.Engine, wantSharded bool) error {
+		if err := eng.ShardError(); err != nil {
+			return fmt.Errorf("seed %d %s: %w", c.Seed, label, err)
+		}
+		resp := eng.Run(engine.Request{ID: label, SQL: c.SQL})
+		if resp.Err != nil {
+			return fmt.Errorf("seed %d %s: %w", c.Seed, label, resp.Err)
+		}
+		got := make([]float64, len(resp.Tuples))
+		for i, t := range resp.Tuples {
+			// SELECT * keeps the RankAssign layout: score at len-2, rank last.
+			got[i] = t[len(t)-2].AsFloat()
+		}
+		if err := compareScores(want, got); err != nil {
+			return fmt.Errorf("seed %d %s: %w\nquery: %s", c.Seed, label, err, c.SQL)
+		}
+		if resp.Sharded {
+			rep.Sharded++
+		} else if wantSharded {
+			return fmt.Errorf("seed %d %s: fell back to the single-engine path\nquery: %s",
+				c.Seed, label, c.SQL)
+		}
+		return nil
+	}
+
+	single := engine.NewWithConfig(c.cat, engine.Config{})
+	if err := check("unsharded", single, false); err != nil {
+		return ShardReport{}, err
+	}
+	for _, n := range counts {
+		eng := engine.NewWithConfig(c.cat, engine.Config{Shards: n})
+		if err := check(fmt.Sprintf("shards=%d", n), eng, true); err != nil {
+			return ShardReport{}, err
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,61 @@
+package plan
+
+import (
+	"fmt"
+
+	"rankopt/internal/catalog"
+	"rankopt/internal/exec"
+)
+
+// Rebind repoints a plan's catalog-bound references — index handles and TA
+// input relations — at the given catalog. The sharded tier compiles one
+// optimized plan once per shard: Clone shares the immutable members,
+// including *catalog.Index pointers into the coordinator's catalog, so a
+// clone compiled against a shard catalog would otherwise probe parent-heap
+// rids through parent indexes. Rebind must run on a Clone, never on a cached
+// template tree. The target catalog must contain every referenced table and
+// an index over every referenced (table, column) — Catalog.Shard rebuilds
+// both, so shard catalogs always qualify.
+func Rebind(root *Node, cat *catalog.Catalog) error {
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	rebindIdx := func(idx *catalog.Index) *catalog.Index {
+		re := cat.IndexOn(idx.Table, idx.Column)
+		if re == nil {
+			fail(fmt.Errorf("plan: rebind: no index on %s.%s in target catalog", idx.Table, idx.Column))
+			return idx
+		}
+		return re
+	}
+	root.Walk(func(n *Node) {
+		if n.Index != nil {
+			n.Index = rebindIdx(n.Index)
+		}
+		if len(n.TAInputs) == 0 {
+			return
+		}
+		// TAInputs are a shared slice under Clone; copy before rewriting.
+		inputs := append([]exec.TAInput(nil), n.TAInputs...)
+		for i := range inputs {
+			ti := &inputs[i]
+			tab, err := cat.Table(ti.Rel.Name)
+			if err != nil {
+				fail(fmt.Errorf("plan: rebind: %w", err))
+				return
+			}
+			ti.Rel = tab.Rel
+			if ti.ScoreIdx != nil {
+				ti.ScoreIdx = rebindIdx(ti.ScoreIdx)
+			}
+			if ti.IDIdx != nil {
+				ti.IDIdx = rebindIdx(ti.IDIdx)
+			}
+		}
+		n.TAInputs = inputs
+	})
+	return firstErr
+}

@@ -170,31 +170,22 @@ func TA(lists []Source, weights []float64, k int) ([]Result, Stats, error) {
 		return nil, Stats{}, err
 	}
 	stats := Stats{SortedAccesses: make([]int, m), RandomAccesses: make([]int, m)}
-	last := make([]float64, m)
-	exhausted := make([]bool, m)
+	bounds := NewBounds(m)
 	seen := map[int64]bool{}
 	var best resultHeap
 
-	allDone := func() bool {
-		for _, e := range exhausted {
-			if !e {
-				return false
-			}
-		}
-		return true
-	}
-	for !allDone() {
+	for !bounds.AllExhausted() {
 		for i := 0; i < m; i++ {
-			if exhausted[i] {
+			if bounds.Exhausted(i) {
 				continue
 			}
 			id, sc, ok := lists[i].Next()
 			if !ok {
-				exhausted[i] = true
+				bounds.Exhaust(i)
 				continue
 			}
 			stats.SortedAccesses[i]++
-			last[i] = sc
+			bounds.Observe(i, sc)
 			if seen[id] {
 				continue
 			}
@@ -216,11 +207,12 @@ func TA(lists []Source, weights []float64, k int) ([]Result, Stats, error) {
 				heap.Fix(&best, 0)
 			}
 		}
-		// Threshold: the best possible score of any unseen object.
+		// Threshold: the best possible score of any unseen object. Every
+		// non-exhausted list was observed this round, so Upper is finite.
 		threshold := 0.0
 		for i := 0; i < m; i++ {
-			if !exhausted[i] {
-				threshold += weights[i] * last[i]
+			if !bounds.Exhausted(i) {
+				threshold += weights[i] * bounds.Upper(i)
 			}
 		}
 		if len(best) >= k && best[0].Score >= threshold {
@@ -251,42 +243,33 @@ func NRA(lists []SortedAccess, weights []float64, k int) ([]Result, Stats, error
 		return nil, Stats{}, err
 	}
 	stats := Stats{SortedAccesses: make([]int, m), RandomAccesses: make([]int, m)}
-	last := make([]float64, m)
-	exhausted := make([]bool, m)
+	bounds := NewBounds(m)
 	cands := map[int64]*nraCand{}
 
-	allDone := func() bool {
-		for _, e := range exhausted {
-			if !e {
-				return false
-			}
-		}
-		return true
-	}
 	upper := func(c *nraCand) float64 {
 		u := c.lower
 		for i := 0; i < m; i++ {
-			if !c.known[i] && !exhausted[i] {
-				u += weights[i] * last[i]
+			if !c.known[i] && !bounds.Exhausted(i) {
+				u += weights[i] * bounds.Upper(i)
 			}
 		}
 		return u
 	}
 	for {
 		for i := 0; i < m; i++ {
-			if exhausted[i] {
+			if bounds.Exhausted(i) {
 				continue
 			}
 			id, sc, ok := lists[i].Next()
 			if !ok {
-				exhausted[i] = true
+				bounds.Exhaust(i)
 				continue
 			}
 			if sc < 0 {
 				return nil, stats, fmt.Errorf("ranking: NRA requires non-negative scores, got %v", sc)
 			}
 			stats.SortedAccesses[i]++
-			last[i] = sc
+			bounds.Observe(i, sc)
 			c := cands[id]
 			if c == nil {
 				c = &nraCand{id: id, known: make([]bool, m)}
@@ -313,8 +296,8 @@ func NRA(lists []SortedAccess, weights []float64, k int) ([]Result, Stats, error
 			// Upper bound of any unseen object.
 			unseenU := 0.0
 			for i := 0; i < m; i++ {
-				if !exhausted[i] {
-					unseenU += weights[i] * last[i]
+				if !bounds.Exhausted(i) {
+					unseenU += weights[i] * bounds.Upper(i)
 				}
 			}
 			ok := kth >= unseenU
@@ -326,14 +309,14 @@ func NRA(lists []SortedAccess, weights []float64, k int) ([]Result, Stats, error
 					ok = false
 				}
 			}
-			if ok || allDone() {
+			if ok || bounds.AllExhausted() {
 				out := make([]Result, 0, k)
 				for _, c := range all[:k] {
 					out = append(out, Result{ID: c.id, Score: c.lower})
 				}
 				return out, stats, nil
 			}
-		} else if allDone() {
+		} else if bounds.AllExhausted() {
 			out := make([]Result, 0, len(cands))
 			for _, c := range cands {
 				out = append(out, Result{ID: c.id, Score: c.lower})

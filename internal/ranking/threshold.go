@@ -1,0 +1,86 @@
+package ranking
+
+import "math"
+
+// Bounds tracks per-source upper bounds for threshold-style early
+// termination. It is the machinery shared by TA, NRA, and the sharded
+// coordinator merge: every source emits scores in descending order, so the
+// last observed score bounds everything the source can still produce, an
+// optional a-priori ceiling (e.g. derived from per-shard statistics) bounds a
+// source before it has emitted anything, and an exhausted source can produce
+// nothing at all.
+//
+// Bounds is not safe for concurrent use; callers serialize access (the
+// coordinator observes from a single merge goroutine).
+type Bounds struct {
+	upper     []float64
+	exhausted []bool
+}
+
+// NewBounds tracks n sources, each initially unbounded (+Inf).
+func NewBounds(n int) *Bounds {
+	b := &Bounds{upper: make([]float64, n), exhausted: make([]bool, n)}
+	for i := range b.upper {
+		b.upper[i] = math.Inf(1)
+	}
+	return b
+}
+
+// Len returns the number of tracked sources.
+func (b *Bounds) Len() int { return len(b.upper) }
+
+// SetCeiling tightens source i's bound with an a-priori ceiling, typically
+// computed from statistics before the source has produced anything. Looser
+// ceilings than the current bound are ignored.
+func (b *Bounds) SetCeiling(i int, v float64) {
+	if v < b.upper[i] {
+		b.upper[i] = v
+	}
+}
+
+// Observe records a score emitted by source i. Because sources emit in
+// descending order, the observation bounds every future emission.
+func (b *Bounds) Observe(i int, score float64) {
+	if score < b.upper[i] {
+		b.upper[i] = score
+	}
+}
+
+// Exhaust marks source i as having no further output.
+func (b *Bounds) Exhaust(i int) { b.exhausted[i] = true }
+
+// Exhausted reports whether source i is exhausted.
+func (b *Bounds) Exhausted(i int) bool { return b.exhausted[i] }
+
+// AllExhausted reports whether every source is exhausted.
+func (b *Bounds) AllExhausted() bool {
+	for _, e := range b.exhausted {
+		if !e {
+			return false
+		}
+	}
+	return true
+}
+
+// Upper returns the best score source i can still produce: -Inf once
+// exhausted, +Inf before any observation or ceiling, otherwise the tightest
+// known bound.
+func (b *Bounds) Upper(i int) float64 {
+	if b.exhausted[i] {
+		return math.Inf(-1)
+	}
+	return b.upper[i]
+}
+
+// MaxUpper returns the best score any source can still produce — the
+// coordinator's stopping test: once MaxUpper is no better than the k-th
+// buffered score, no source can change the top k.
+func (b *Bounds) MaxUpper() float64 {
+	best := math.Inf(-1)
+	for i := range b.upper {
+		if u := b.Upper(i); u > best {
+			best = u
+		}
+	}
+	return best
+}

@@ -1,0 +1,49 @@
+package ranking
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBoundsLifecycle(t *testing.T) {
+	b := NewBounds(3)
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if !math.IsInf(b.Upper(0), 1) || !math.IsInf(b.MaxUpper(), 1) {
+		t.Fatal("unobserved bounds must be +Inf")
+	}
+	b.SetCeiling(0, 10)
+	b.SetCeiling(0, 20) // ceilings only tighten
+	if b.Upper(0) != 10 {
+		t.Fatalf("Upper(0) = %v after ceilings 10 then 20", b.Upper(0))
+	}
+	b.Observe(0, 7)
+	b.Observe(0, 9) // observations only tighten too
+	if b.Upper(0) != 7 {
+		t.Fatalf("Upper(0) = %v after observing 7 then 9", b.Upper(0))
+	}
+	b.Observe(1, 4)
+	if b.MaxUpper() != math.Inf(1) { // list 2 still unobserved
+		t.Fatalf("MaxUpper = %v", b.MaxUpper())
+	}
+	b.Observe(2, 5)
+	if b.MaxUpper() != 7 {
+		t.Fatalf("MaxUpper = %v, want 7", b.MaxUpper())
+	}
+	b.Exhaust(0)
+	if !b.Exhausted(0) || !math.IsInf(b.Upper(0), -1) {
+		t.Fatal("exhausted list must report -Inf upper bound")
+	}
+	if b.AllExhausted() {
+		t.Fatal("lists 1 and 2 are still live")
+	}
+	b.Exhaust(1)
+	b.Exhaust(2)
+	if !b.AllExhausted() {
+		t.Fatal("all lists exhausted")
+	}
+	if !math.IsInf(b.MaxUpper(), -1) {
+		t.Fatalf("MaxUpper after exhaustion = %v", b.MaxUpper())
+	}
+}

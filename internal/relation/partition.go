@@ -1,0 +1,28 @@
+package relation
+
+import "fmt"
+
+// PartitionBy splits the relation into n shard views using assign, which maps
+// each tuple to its shard in [0, n). Shard relations share the original
+// tuples (and values) — only the per-shard tuple-header slices are new — so
+// partitioning a large heap costs one pass and n slice headers, not a data
+// copy. Every shard keeps the parent's name, schema, and page size, so
+// catalogs built over the shards resolve the same table and column names the
+// parent catalog does.
+func (r *Relation) PartitionBy(n int, assign func(Tuple) int) ([]*Relation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("relation: partition count %d must be positive", n)
+	}
+	shards := make([]*Relation, n)
+	for i := range shards {
+		shards[i] = &Relation{Name: r.Name, schema: r.schema, PageSize: r.PageSize}
+	}
+	for _, t := range r.tuples {
+		s := assign(t)
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("relation: partition function returned shard %d outside [0,%d)", s, n)
+		}
+		shards[s].tuples = append(shards[s].tuples, t)
+	}
+	return shards, nil
+}

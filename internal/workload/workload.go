@@ -54,6 +54,14 @@ type RankedConfig struct {
 	Seed int64
 	// Dist selects the score distribution (default DistUniform).
 	Dist ScoreDist
+	// ScoreByKey, when positive, correlates score with the join key: the
+	// drawn score is blended with the key's normalized position in its
+	// domain (score' = w·(key/domain) + (1-w)·score, w = ScoreByKey ≤ 1).
+	// With ScoreByKey = 1 the score is a pure function of the key, so
+	// range-partitioning the key also range-partitions the scores — the
+	// skewed serving-tier workload where some shards provably cannot hold
+	// top results. Zero keeps scores independent of keys.
+	ScoreByKey float64
 }
 
 // Ranked produces a relation with schema (id INTEGER, key INTEGER,
@@ -93,10 +101,18 @@ func Ranked(cfg RankedConfig) *relation.Relation {
 		} else {
 			key = int64(i)
 		}
+		norm := drawScore(rng, cfg.Dist)
+		if w := cfg.ScoreByKey; w > 0 {
+			keyDomain := domain
+			if cfg.Selectivity <= 0 {
+				keyDomain = cfg.N
+			}
+			norm = w*(float64(key)/float64(keyDomain)) + (1-w)*norm
+		}
 		rel.MustAppend(relation.Tuple{
 			relation.Int(int64(i)),
 			relation.Int(key),
-			relation.Float(lo + drawScore(rng, cfg.Dist)*(hi-lo)),
+			relation.Float(lo + norm*(hi-lo)),
 		})
 	}
 	return rel
