@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench throughput plancache oracle fuzz cancel trace batch shard ci
+.PHONY: all fmt vet build test race bench throughput plancache oracle fuzz cancel trace batch shard planner ci
 
 all: ci
 
@@ -58,6 +58,13 @@ batch: build
 # shard=4 throughput is below 1.5x shard=1 or no shard was ever stopped early.
 shard: build
 	$(GO) run ./cmd/raqo-bench -shard -out BENCH_shard.json
+
+# Two-speed planner comparison (DP vs greedy planning time, plan cost, and
+# executed top-k parity); emits BENCH_planner.json and exits nonzero when the
+# greedy path plans less than 10x faster, a greedy plan costs more than 1.2x
+# the DP's, the answers diverge, or greedy silently fell back to the DP.
+planner: build
+	$(GO) run ./cmd/raqo-bench -planner -out BENCH_planner.json
 
 ci: fmt vet build race
 	$(GO) test ./internal/oracle -quick

@@ -33,6 +33,15 @@
 //	                           # BENCH_shard.json; exits nonzero when shard=4
 //	                           # throughput is below -minspeedup x shard=1 or
 //	                           # the bounds never stopped a shard early
+//	raqo-bench -planner        # two-speed planner comparison: DP vs greedy
+//	                           # planning wall time and chosen-plan cost over
+//	                           # a selectivity sweep, with executed top-k
+//	                           # parity, written to BENCH_planner.json; exits
+//	                           # nonzero when the greedy path plans less than
+//	                           # -minplanspeedup times faster, any greedy
+//	                           # plan costs more than 1+-maxqualityloss of
+//	                           # the DP's, the answers diverge, or greedy
+//	                           # silently fell back to the DP
 //
 // The -concurrency mode runs a fixed batch of top-k sessions over one shared
 // catalog at each worker count (-workers, default 1,2,4,8), prints the
@@ -83,7 +92,10 @@ func main() {
 		traceBench  = flag.Bool("trace", false, "run the tracing on/off overhead comparison")
 		batchBench  = flag.Bool("batch", false, "run the batch vs per-tuple executor comparison")
 		shardBench  = flag.Bool("shard", false, "run the sharded scatter-gather scaling sweep")
+		planBench   = flag.Bool("planner", false, "run the DP vs greedy planner comparison")
 		minSpeedup  = flag.Float64("minspeedup", 1.5, "fail when shard=4 qps is below this multiple of shard=1 (-shard)")
+		minPlanSpd  = flag.Float64("minplanspeedup", 10.0, "fail when greedy planning is below this speedup over the DP (-planner)")
+		maxQuality  = flag.Float64("maxqualityloss", 0.2, "fail when a greedy plan costs more than 1+this times the DP plan (-planner)")
 		maxErr      = flag.Float64("maxerr", 3.0, "fail when the sweep's mean relative depth error exceeds this (-analyze)")
 		maxSlowdown = flag.Float64("maxslowdown", 50.0, "fail when traced sessions are this many times slower than untraced (-trace)")
 		out         = flag.String("out", "", "artifact path (defaults per mode)")
@@ -160,6 +172,17 @@ func main() {
 		}
 		return
 	}
+	if *planBench {
+		path := *out
+		if path == "" {
+			path = "BENCH_planner.json"
+		}
+		if err := runPlanner(path, *rows, *minPlanSpd, *maxQuality); err != nil {
+			fmt.Fprintln(os.Stderr, "raqo-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *cancelBench {
 		path := *out
 		if path == "" {
@@ -174,7 +197,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Println("usage: raqo-bench all | <experiment>... | -concurrency | -plancache | -analyze | -cancel | -trace | -batch | -shard")
+		fmt.Println("usage: raqo-bench all | <experiment>... | -concurrency | -plancache | -analyze | -cancel | -trace | -batch | -shard | -planner")
 		fmt.Println("experiments:")
 		for _, e := range bench.All() {
 			fmt.Printf("  %-10s %s\n", e.Name, e.What)
@@ -335,6 +358,29 @@ func runShard(out string, rows, queries int, minSpeedup float64) error {
 	// The scaling gate: shard=4 must beat shard=1 by minSpeedup with a
 	// nonzero early-stop rate.
 	return rep.CheckScaling(minSpeedup)
+}
+
+func runPlanner(out string, rows int, minSpeedup, maxQualityLoss float64) error {
+	cfg := bench.DefaultPlannerConfig()
+	if rows > 0 {
+		cfg.Rows = rows
+	}
+	rep, err := bench.Planner(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Table())
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	// The two-speed gate: greedy must earn its keep on planning time without
+	// giving up plan quality or answer correctness.
+	return rep.CheckGates(minSpeedup, maxQualityLoss)
 }
 
 func runCancel(out string, rows, sessions int, workers string) error {

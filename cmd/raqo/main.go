@@ -76,6 +76,8 @@ func main() {
 		traceFlag   = flag.Bool("trace", false, "run traced sessions: print the optimizer decision trace and query span tree")
 		traceJSON   = flag.String("trace-json", "", "write each traced session's Chrome trace-event JSON to this file")
 		slowQuery   = flag.Duration("slowquery", 0, "log sessions at or over this duration to stderr, e.g. 100ms (0 = off)")
+		plannerMode = flag.String("planner", "dp", "join-order planner: dp (System-R memo) or greedy (no-stats fast path with DP fallback)")
+		feedback    = flag.Float64("depth-feedback", 0, "re-optimize a query when its measured rank-join depths exceed the estimates by this ratio (0 = off, try 2)")
 	)
 	flag.Parse()
 
@@ -90,9 +92,15 @@ func main() {
 	}
 	fmt.Printf("loaded tables: %s (%d rows each)\n", strings.Join(names, ", "), *rows)
 
+	planner, err := core.ParsePlannerMode(*plannerMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
 	cfg := engine.Config{
-		Options:          core.Options{DisableRankAware: *baseline},
-		DisablePlanCache: *noCache,
+		Options:            core.Options{DisableRankAware: *baseline, Planner: planner},
+		DisablePlanCache:   *noCache,
+		DepthFeedbackRatio: *feedback,
 	}
 	if *slowQuery > 0 {
 		cfg.SlowQuery = *slowQuery
@@ -186,6 +194,8 @@ func printMetrics(w io.Writer, eng *engine.Engine) {
 	fmt.Fprintf(w, "optimizer: runs=%d generated=%d pruned=%d protected=%d traced=%d slow=%d\n",
 		m.OptimizerRuns, m.PlansGenerated, m.PlansPruned, m.PlansProtected,
 		m.TracedQueries, m.SlowQueries)
+	fmt.Fprintf(w, "depth feedback: observations=%d accepted=%d replans=%d\n",
+		m.DepthObservations, m.DepthAccepted, m.DepthReplans)
 	fmt.Fprintf(w, "runtime: goroutines=%d heap=%dKB objects=%d gc=%d pause-p99=%.0fµs\n",
 		m.Runtime.Goroutines, m.Runtime.HeapAllocBytes/1024, m.Runtime.HeapObjects,
 		m.Runtime.GCCycles, m.Runtime.GCPauseP99Micros)

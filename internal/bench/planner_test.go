@@ -1,0 +1,45 @@
+package bench
+
+import "testing"
+
+// TestPlannerBenchSmoke runs a scaled-down sweep end to end and checks the
+// report is internally coherent: every point planned with both planners,
+// produced matching executed answers, and the greedy path never fell back.
+// The timing gate itself is CI's job at full scale — at smoke scale the
+// medians are noise — but quality and parity must hold at any scale.
+func TestPlannerBenchSmoke(t *testing.T) {
+	cfg := DefaultPlannerConfig()
+	cfg.Rows = 400
+	cfg.ExecRows = 80
+	cfg.Trials = 3
+	cfg.Selectivities = []float64{0.01, 0.05}
+	rep, err := Planner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != len(cfg.Selectivities) {
+		t.Fatalf("got %d points for %d selectivities", len(rep.Points), len(cfg.Selectivities))
+	}
+	for _, pt := range rep.Points {
+		if pt.Fallback {
+			t.Errorf("sel=%g: greedy fell back to the DP", pt.Selectivity)
+		}
+		if !pt.ResultsMatch {
+			t.Errorf("sel=%g: executed answers diverged", pt.Selectivity)
+		}
+		if pt.DPCost <= 0 || pt.GreedyCost <= 0 {
+			t.Errorf("sel=%g: degenerate plan costs dp=%v greedy=%v",
+				pt.Selectivity, pt.DPCost, pt.GreedyCost)
+		}
+		if pt.CostRatio > 1.2 {
+			t.Errorf("sel=%g: greedy plan cost ratio %.2f exceeds 1.2",
+				pt.Selectivity, pt.CostRatio)
+		}
+	}
+	if _, err := rep.JSON(); err != nil {
+		t.Fatal(err)
+	}
+	if s := rep.Table().String(); s == "" {
+		t.Fatal("empty table rendering")
+	}
+}

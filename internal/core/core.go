@@ -17,11 +17,46 @@ import (
 
 	"rankopt/internal/catalog"
 	"rankopt/internal/costmodel"
+	"rankopt/internal/estimate"
 	"rankopt/internal/exec"
 	"rankopt/internal/expr"
 	"rankopt/internal/logical"
 	"rankopt/internal/plan"
 )
+
+// PlannerMode selects the join-order planning strategy.
+type PlannerMode uint8
+
+const (
+	// PlannerDP is the paper's System-R bottom-up dynamic programming over
+	// every connected table subset (the default).
+	PlannerDP PlannerMode = iota
+	// PlannerGreedy skips the memo entirely: joins are ordered greedily by
+	// visible selectivity and join-graph connectivity, emitting one left-deep
+	// plan in microseconds. Shapes greedy cannot order confidently (grouped
+	// queries, traced sessions, plan-space collection) fall back to the DP;
+	// Result.GreedyFallback reports when that happened.
+	PlannerGreedy
+)
+
+// String renders the mode the way the -planner flag spells it.
+func (m PlannerMode) String() string {
+	if m == PlannerGreedy {
+		return "greedy"
+	}
+	return "dp"
+}
+
+// ParsePlannerMode parses a -planner flag value ("", "dp", "greedy").
+func ParsePlannerMode(s string) (PlannerMode, error) {
+	switch s {
+	case "", "dp":
+		return PlannerDP, nil
+	case "greedy":
+		return PlannerGreedy, nil
+	}
+	return PlannerDP, fmt.Errorf("core: unknown planner mode %q (want dp or greedy)", s)
+}
 
 // Options controls the optimizer. The Disable* switches exist for the
 // ablation experiments; production use keeps the zero value (everything on).
@@ -70,6 +105,15 @@ type Options struct {
 	// when Workers > 1; for a deterministic event order run with Workers <=
 	// 1, which the engine does for traced sessions.
 	Tracer Tracer
+	// Planner selects the join-order strategy: the System-R DP (default) or
+	// the greedy fast path (see PlannerGreedy).
+	Planner PlannerMode
+	// DepthHints carries empirically observed rank-join depths keyed by
+	// plan.DepthHintKey (sorted left tables + "|" + sorted right tables).
+	// When a rank join is built over a keyed table split, the hint overrides
+	// the Section-4 uniform-score depth estimate — the feedback loop's way of
+	// re-optimizing with measured depths instead of the model.
+	DepthHints map[string]estimate.Observed
 }
 
 // Result is the optimizer output.
@@ -98,6 +142,12 @@ type Result struct {
 	PlansProtected int
 	// InterestingOrders reproduces Table 1 for the query.
 	InterestingOrders []InterestingOrder
+	// Planner is the strategy that actually produced Best (greedy requests
+	// that fell back report PlannerDP here).
+	Planner PlannerMode
+	// GreedyFallback is set when PlannerGreedy was requested but the query
+	// shape forced the DP path.
+	GreedyFallback bool
 }
 
 // InterestingOrder is one row of the paper's Table 1.
@@ -168,10 +218,26 @@ func Optimize(cat *catalog.Catalog, q *logical.Query, opts Options) (*Result, er
 	}
 	o.equiv = newEquivClasses(q.Joins)
 	o.joins = o.equiv.closure(q.Joins)
-	o.enumerateBase()
-	o.enumerateJoins()
-	o.traceMemoState()
-	best, bestJoin, all, err := o.finish()
+
+	planner := PlannerDP
+	fallback := false
+	var best, bestJoin *plan.Node
+	var all []*plan.Node
+	var err error
+	if opts.Planner == PlannerGreedy {
+		if g := o.greedyPlan(); g != nil {
+			planner = PlannerGreedy
+			best, bestJoin, all, err = o.finish([]*plan.Node{g})
+		} else {
+			fallback = true
+		}
+	}
+	if planner == PlannerDP {
+		o.enumerateBase()
+		o.enumerateJoins()
+		o.traceMemoState()
+		best, bestJoin, all, err = o.finish(o.memo[o.fullMask()])
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -184,6 +250,8 @@ func Optimize(cat *catalog.Catalog, q *logical.Query, opts Options) (*Result, er
 		PlansPruned:       o.pc.pruned + o.pc.evicted,
 		PlansProtected:    o.pc.protected,
 		InterestingOrders: o.interestingOrders(),
+		Planner:           planner,
+		GreedyFallback:    fallback,
 	}
 	for mask, plans := range o.memo {
 		res.Memo[o.label(mask)] = plans

@@ -428,8 +428,6 @@ func (o *optimizer) rankJoinCandidates(acc *maskAcc, sub, rest uint64, p1, p2 *p
 	rOrder, _ := o.rankOrderFor(rest)
 	lScore := o.scoreFor(sub)
 	rScore := o.scoreFor(rest)
-	rankedL := o.rankedOf(sub)
-	rankedR := o.rankedOf(rest)
 
 	if tr := o.opts.Tracer; tr != nil {
 		// An interesting ranking-order expression over each input side is
@@ -455,36 +453,13 @@ func (o *optimizer) rankJoinCandidates(acc *maskAcc, sub, rest uint64, p1, p2 *p
 	}
 
 	outOrder, _ := o.rankOrderFor(mask)
-	mkNode := func(op plan.OpType, l, r *plan.Node) *plan.Node {
-		n := &plan.Node{
-			Op:       op,
-			Children: []*plan.Node{l, r},
-			EqPreds:  preds,
-			LScore:   lScore,
-			RScore:   rScore,
-			Strategy: o.opts.Strategy,
-			Card:     jcard,
-			Sel:      s,
-			LLeaves:  len(rankedL),
-			RLeaves:  len(rankedR),
-			BaseN:    o.geoMeanRankedCard(mask),
-			P:        o.params,
-		}
-		if len(rankedL) == 1 {
-			n.LSlab = rankedL[0].termSlab
-		}
-		if len(rankedR) == 1 {
-			n.RSlab = rankedR[0].termSlab
-		}
-		return n
-	}
 
 	// HRJN needs both inputs ranked.
 	if !o.opts.DisableHRJN {
 		l := rankedInput(p1, lOrder, lScore)
 		r := rankedInput(p2, rOrder, rScore)
 		if l != nil && r != nil {
-			n := mkNode(plan.OpHRJN, l, r)
+			n := o.rankJoinNode(plan.OpHRJN, l, r, sub, rest, preds, s, jcard)
 			n.Props = plan.Props{
 				Order:     outOrder,
 				Pipelined: l.Props.Pipelined && r.Props.Pipelined,
@@ -498,7 +473,7 @@ func (o *optimizer) rankJoinCandidates(acc *maskAcc, sub, rest uint64, p1, p2 *p
 	if !o.opts.DisableNRJN {
 		l := rankedInput(p1, lOrder, lScore)
 		if l != nil {
-			n := mkNode(plan.OpNRJN, l, p2)
+			n := o.rankJoinNode(plan.OpNRJN, l, p2, sub, rest, preds, s, jcard)
 			n.Props = plan.Props{
 				Order:     outOrder,
 				Pipelined: l.Props.Pipelined,
@@ -506,6 +481,43 @@ func (o *optimizer) rankJoinCandidates(acc *maskAcc, sub, rest uint64, p1, p2 *p
 			acc.add(n)
 		}
 	}
+}
+
+// rankJoinNode builds a rank-join node over the plans covering masks sub and
+// rest. It is shared by the DP enumeration and the greedy planner so the
+// node shape — and the empirical depth-hint attachment of the feedback loop —
+// live in exactly one place.
+func (o *optimizer) rankJoinNode(op plan.OpType, l, r *plan.Node, sub, rest uint64, preds []logical.JoinPred, s, jcard float64) *plan.Node {
+	mask := sub | rest
+	rankedL := o.rankedOf(sub)
+	rankedR := o.rankedOf(rest)
+	n := &plan.Node{
+		Op:       op,
+		Children: []*plan.Node{l, r},
+		EqPreds:  preds,
+		LScore:   o.scoreFor(sub),
+		RScore:   o.scoreFor(rest),
+		Strategy: o.opts.Strategy,
+		Card:     jcard,
+		Sel:      s,
+		LLeaves:  len(rankedL),
+		RLeaves:  len(rankedR),
+		BaseN:    o.geoMeanRankedCard(mask),
+		P:        o.params,
+	}
+	if len(rankedL) == 1 {
+		n.LSlab = rankedL[0].termSlab
+	}
+	if len(rankedR) == 1 {
+		n.RSlab = rankedR[0].termSlab
+	}
+	if len(o.opts.DepthHints) > 0 {
+		if ob, ok := o.opts.DepthHints[plan.DepthHintKey(n)]; ok {
+			hint := ob
+			n.DepthHint = &hint
+		}
+	}
+	return n
 }
 
 // preserveOuter propagates an input's order property through an

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rankopt/internal/estimate"
+	"rankopt/internal/exec"
+	"rankopt/internal/expr"
+	"rankopt/internal/logical"
+	"rankopt/internal/plan"
+	"rankopt/internal/workload"
+)
+
+// The greedy fast path must produce the same top-k answer as the reference
+// plan (and therefore as the DP) on ranked chain joins of every width.
+func TestGreedyMatchesReference(t *testing.T) {
+	// Rows shrink with join width so the reference plan's full materialized
+	// join stays small (N^m·s^(m-1) tuples).
+	rows := map[int]int{2: 1500, 3: 400, 4: 120}
+	for _, m := range []int{2, 3, 4} {
+		cat, _ := workload.RankedSet(m, workload.RankedConfig{N: rows[m], Selectivity: 0.05, Seed: 301})
+		q := rankedQuery(m, 10)
+		res, err := Optimize(cat, q, Options{Planner: PlannerGreedy})
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if res.Planner != PlannerGreedy || res.GreedyFallback {
+			t.Fatalf("m=%d: planner=%v fallback=%v, want greedy", m, res.Planner, res.GreedyFallback)
+		}
+		got := runBest(t, cat, res)
+		want := referenceTopK(t, cat, q, 10)
+		if len(got) != len(want) {
+			t.Fatalf("m=%d: got %d results, want %d\n%s", m, len(got), len(want), plan.Explain(res.Best))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("m=%d rank %d: %v, want %v\n%s", m, i, got[i], want[i], plan.Explain(res.Best))
+			}
+		}
+	}
+}
+
+// Greedy must also handle non-ranking ORDER BY queries and filtered ranked
+// queries — the paths that bypass rank-join construction entirely.
+func TestGreedyNonRankingAndFiltered(t *testing.T) {
+	cat, _ := workload.RankedSet(2, workload.RankedConfig{N: 800, Selectivity: 0.05, Seed: 302})
+
+	// Non-ranking: plain ORDER BY id DESC LIMIT.
+	q := &logical.Query{
+		Tables:    []string{"T1", "T2"},
+		Joins:     []logical.JoinPred{{L: expr.Col("T1", "key"), R: expr.Col("T2", "key")}},
+		OrderBy:   expr.Col("T1", "id"),
+		OrderDesc: true,
+		K:         5,
+	}
+	res, err := Optimize(cat, q, Options{Planner: PlannerGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Planner != PlannerGreedy {
+		t.Fatalf("non-ranking query fell back: %+v", res.GreedyFallback)
+	}
+	op, err := plan.Compile(cat, res.Best)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, plan.Explain(res.Best))
+	}
+	tuples, err := exec.Collect(op)
+	if err != nil {
+		t.Fatalf("execute: %v\n%s", err, plan.Explain(res.Best))
+	}
+	if len(tuples) != 5 {
+		t.Fatalf("got %d tuples, want 5", len(tuples))
+	}
+
+	// Ranked with a filter constant: the filtered table should be planned
+	// with its filter applied, and results must match the DP.
+	qf := rankedQuery(2, 8)
+	qf.Filters = []expr.Expr{expr.Bin(expr.OpLt, expr.Col("T1", "id"), expr.IntLit(400))}
+	gres, err := Optimize(cat, qf, Options{Planner: PlannerGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := Optimize(cat, qf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := runBest(t, cat, gres)
+	d := runBest(t, cat, dres)
+	if len(g) != len(d) {
+		t.Fatalf("greedy %d results, dp %d", len(g), len(d))
+	}
+	for i := range d {
+		if math.Abs(g[i]-d[i]) > 1e-9 {
+			t.Fatalf("rank %d: greedy %v, dp %v\n%s", i, g[i], d[i], plan.Explain(gres.Best))
+		}
+	}
+}
+
+// Shapes greedy cannot order confidently fall back to the DP and say so.
+func TestGreedyFallback(t *testing.T) {
+	// Single table.
+	cat1, _ := workload.RankedSet(1, workload.RankedConfig{N: 200, Selectivity: 0.1, Seed: 303})
+	res, err := Optimize(cat1, rankedQuery(1, 5), Options{Planner: PlannerGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Planner != PlannerDP || !res.GreedyFallback {
+		t.Fatalf("single-table: planner=%v fallback=%v, want DP fallback", res.Planner, res.GreedyFallback)
+	}
+
+	// Grouped query.
+	cat2, _ := workload.RankedSet(2, workload.RankedConfig{N: 300, Selectivity: 0.1, Seed: 304})
+	qg := &logical.Query{
+		Tables:  []string{"T1", "T2"},
+		Joins:   []logical.JoinPred{{L: expr.Col("T1", "key"), R: expr.Col("T2", "key")}},
+		GroupBy: []expr.ColRef{expr.Col("T1", "key")},
+		Aggs:    []logical.AggItem{{Func: "COUNT", As: "n"}},
+	}
+	res2, err := Optimize(cat2, qg, Options{Planner: PlannerGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Planner != PlannerDP || !res2.GreedyFallback {
+		t.Fatalf("grouped: planner=%v fallback=%v, want DP fallback", res2.Planner, res2.GreedyFallback)
+	}
+}
+
+func TestParsePlannerMode(t *testing.T) {
+	for s, want := range map[string]PlannerMode{"": PlannerDP, "dp": PlannerDP, "greedy": PlannerGreedy} {
+		got, err := ParsePlannerMode(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePlannerMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePlannerMode("bogus"); err == nil {
+		t.Fatal("bogus mode must fail")
+	}
+	if PlannerGreedy.String() != "greedy" || PlannerDP.String() != "dp" {
+		t.Fatal("String round-trip broken")
+	}
+}
+
+// A DepthHints entry keyed by the rank join's table split must attach to the
+// constructed node (and therefore drive Depths and executor pre-sizing).
+func TestDepthHintAttaches(t *testing.T) {
+	cat, _ := workload.RankedSet(2, workload.RankedConfig{N: 20000, Selectivity: 0.05, Seed: 305})
+	q := rankedQuery(2, 5)
+	// Hints are side-sensitive; the engine records both orientations of a
+	// split (depths swapped), so the DP finds a match whichever side it
+	// puts left.
+	hints := map[string]estimate.Observed{
+		"T1|T2": {K: 5, DL: 42, DR: 37},
+		"T2|T1": {K: 5, DL: 37, DR: 42},
+	}
+	for _, mode := range []PlannerMode{PlannerDP, PlannerGreedy} {
+		res, err := Optimize(cat, q, Options{Planner: mode, DepthHints: hints})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hinted *plan.Node
+		res.Best.Walk(func(n *plan.Node) {
+			if n.Op.IsRankJoin() && n.DepthHint != nil {
+				hinted = n
+			}
+		})
+		if hinted == nil {
+			t.Fatalf("mode %v: no rank join carries the depth hint\n%s", mode, plan.Explain(res.Best))
+		}
+		dl, dr := hinted.Depths(5)
+		wantL, wantR := 42.0, 37.0
+		if len(hinted.Left().Tables()) == 1 && hinted.Left().Tables()[0] == "T2" {
+			wantL, wantR = 37, 42
+		}
+		if math.Abs(dl-wantL) > 1e-9 || math.Abs(dr-wantR) > 1e-9 {
+			t.Fatalf("mode %v: hinted depths %v/%v, want %v/%v", mode, dl, dr, wantL, wantR)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -83,5 +84,45 @@ func TestAnalyzeOffLeavesNoCollector(t *testing.T) {
 	}
 	if resp.Analysis != nil {
 		t.Fatal("non-analyze session carries an Analysis")
+	}
+}
+
+// TestAnalyzeEmptyInput runs EXPLAIN ANALYZE over a plan whose filter
+// eliminates every row — the zero-output estimator path. The session must
+// finish cleanly with zero tuples, and every plan node (rank joins
+// included) must carry finite, non-negative cardinality and depth
+// estimates: the estimate.Propagate zero-OutCard short-circuit feeding
+// NaN/Inf into EstDL/EstDR pre-sizing is exactly the regression this pins.
+func TestAnalyzeEmptyInput(t *testing.T) {
+	eng := testEngine(t, core.Options{})
+	resp := eng.Run(Request{
+		ID:      "empty",
+		SQL:     "SELECT * FROM T1, T2 WHERE T1.key = T2.key AND T1.id < 0 ORDER BY T1.score + T2.score DESC LIMIT 10",
+		Analyze: true,
+	})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if len(resp.Tuples) != 0 {
+		t.Fatalf("filter T1.id < 0 returned %d tuples", len(resp.Tuples))
+	}
+	if resp.Analysis == nil {
+		t.Fatal("Analyze request returned no Analysis")
+	}
+	resp.Plan.Walk(func(n *plan.Node) {
+		if math.IsNaN(n.Card) || math.IsInf(n.Card, 0) || n.Card < 0 {
+			t.Errorf("%s: degenerate card estimate %v", n.Op, n.Card)
+		}
+		for _, v := range []float64{n.EstDL, n.EstDR} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Errorf("%s: degenerate depth estimate %v", n.Op, v)
+			}
+		}
+	})
+	// The rendered tree must also be well-formed (no NaN leaking into the
+	// est columns the REPL shows).
+	out := plan.FormatAnalyze(resp.Plan, resp.Analysis, false)
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("EXPLAIN ANALYZE rendered a degenerate estimate:\n%s", out)
 	}
 }

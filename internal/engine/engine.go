@@ -27,12 +27,15 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"math"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"rankopt/internal/catalog"
 	"rankopt/internal/core"
+	"rankopt/internal/estimate"
 	"rankopt/internal/exec"
 	"rankopt/internal/plan"
 	"rankopt/internal/relation"
@@ -67,6 +70,11 @@ type Engine struct {
 	shards     []*catalog.Catalog
 	shardWidth int
 	shardErr   error
+	// feedback stores the depth-feedback loop's empirical observations;
+	// nil when Config.DepthFeedbackRatio is 0. fbRatio is the measured-over-
+	// estimated depth ratio beyond which an execution's depths are recorded.
+	feedback *feedbackStore
+	fbRatio  float64
 }
 
 // Config controls engine construction beyond the per-session optimizer
@@ -115,6 +123,17 @@ type Config struct {
 	// order of their a-priori score ceiling and may be pruned without ever
 	// starting.
 	ShardWidth int
+	// DepthFeedbackRatio, when positive, turns on the depth-feedback loop:
+	// after each execution the measured rank-join depths are compared to the
+	// optimizer's Section-4 estimates, and a join whose actual depth exceeds
+	// ratio × estimated has its depths recorded against the query's
+	// fingerprint and table split. The recorded observation invalidates the
+	// fingerprint's cached plan, so the next session of that shape
+	// re-optimizes with the empirical depths injected into the cost model
+	// (core.Options.DepthHints) — mispriced plans are repriced with ground
+	// truth after one epoch. 2 is a reasonable production value (re-plan on
+	// 2× misprediction); 0 disables the loop.
+	DepthFeedbackRatio float64
 }
 
 // New constructs an engine over a loaded catalog with the plan cache
@@ -145,6 +164,10 @@ func NewWithConfig(cat *catalog.Catalog, cfg Config) *Engine {
 			e.shards = shards
 			e.shardWidth = cfg.ShardWidth
 		}
+	}
+	if cfg.DepthFeedbackRatio > 0 {
+		e.feedback = newFeedbackStore()
+		e.fbRatio = cfg.DepthFeedbackRatio
 	}
 	return e
 }
@@ -270,6 +293,9 @@ type planInfo struct {
 	hit      bool
 	fp       string
 	counters plan.PlanCounters
+	// k is the session's top-k bound (0 = unbounded), kept for the depth-
+	// feedback capture: observations are scaled per-join from it.
+	k int
 }
 
 // countersOf packs an optimizer result's enumeration tallies.
@@ -293,9 +319,9 @@ func (e *Engine) planFor(sql string) (planInfo, error) {
 	epoch := e.cat.StatsEpoch()
 	// Level 1: exact query text — skips lexing and parsing.
 	if fp, qk, ok := e.cache.lookupText(sql, epoch); ok {
-		if tmpl, ok := e.cache.lookupPlan(fp, epoch); ok {
+		if tmpl, ok := e.cache.lookupPlan(fp, epoch, e.hintEpochFor(fp)); ok {
 			e.cache.hits.Add(1)
-			return planInfo{root: tmpl.Instantiate(qk), hit: true, fp: fp, counters: tmpl.Counters}, nil
+			return planInfo{root: tmpl.Instantiate(qk), hit: true, fp: fp, counters: tmpl.Counters, k: qk}, nil
 		}
 	}
 	q, err := sqlparse.Parse(sql)
@@ -304,21 +330,47 @@ func (e *Engine) planFor(sql string) (planInfo, error) {
 	}
 	fp := sqlparse.Fingerprint(q)
 	e.cache.storeText(sql, fp, q.K, epoch)
+	// hints and hintEpoch are read together so the template stored below is
+	// labeled with exactly the observations the optimizer saw.
+	hints, hintEpoch := e.hintsFor(fp)
 	// Level 2: canonical fingerprint — skips optimization.
-	if tmpl, ok := e.cache.lookupPlan(fp, epoch); ok {
+	if tmpl, ok := e.cache.lookupPlan(fp, epoch, hintEpoch); ok {
 		e.cache.hits.Add(1)
-		return planInfo{root: tmpl.Instantiate(q.K), hit: true, fp: fp, counters: tmpl.Counters}, nil
+		return planInfo{root: tmpl.Instantiate(q.K), hit: true, fp: fp, counters: tmpl.Counters, k: q.K}, nil
 	}
 	e.cache.misses.Add(1)
-	res, err := core.Optimize(e.cat, q, e.opts)
+	opts := e.opts
+	opts.DepthHints = hints
+	if len(hints) > 0 {
+		e.met.depthReplans.Add(1)
+	}
+	res, err := core.Optimize(e.cat, q, opts)
 	if err != nil {
 		return planInfo{}, fmt.Errorf("engine: optimize: %w", err)
 	}
 	counters := countersOf(res)
 	e.met.observeOptimize(counters)
 	tmpl := plan.NewTemplate(res.Best, q.K, counters)
-	e.cache.storePlan(fp, tmpl, epoch)
-	return planInfo{root: tmpl.Instantiate(q.K), fp: fp, counters: counters}, nil
+	e.cache.storePlan(fp, tmpl, epoch, hintEpoch)
+	return planInfo{root: tmpl.Instantiate(q.K), fp: fp, counters: counters, k: q.K}, nil
+}
+
+// hintEpochFor returns the fingerprint's depth-feedback hint epoch (0 when
+// the loop is off).
+func (e *Engine) hintEpochFor(fp string) uint64 {
+	if e.feedback == nil {
+		return 0
+	}
+	return e.feedback.epochFor(fp)
+}
+
+// hintsFor returns the fingerprint's empirical depth hints and their epoch
+// (nil, 0 when the loop is off or nothing was observed).
+func (e *Engine) hintsFor(fp string) (map[string]estimate.Observed, uint64) {
+	if e.feedback == nil {
+		return nil, 0
+	}
+	return e.feedback.snapshot(fp)
 }
 
 // optimizeFresh is the cache-free pipeline: parse and optimize, wrapping the
@@ -329,14 +381,20 @@ func (e *Engine) optimizeFresh(sql string) (planInfo, error) {
 	if err != nil {
 		return planInfo{}, fmt.Errorf("engine: parse: %w", err)
 	}
-	res, err := core.Optimize(e.cat, q, e.opts)
+	fp := sqlparse.Fingerprint(q)
+	opts := e.opts
+	if hints, _ := e.hintsFor(fp); len(hints) > 0 {
+		opts.DepthHints = hints
+		e.met.depthReplans.Add(1)
+	}
+	res, err := core.Optimize(e.cat, q, opts)
 	if err != nil {
 		return planInfo{}, fmt.Errorf("engine: optimize: %w", err)
 	}
 	counters := countersOf(res)
 	e.met.observeOptimize(counters)
 	tmpl := plan.NewTemplate(res.Best, q.K, counters)
-	return planInfo{root: tmpl.Instantiate(q.K), fp: sqlparse.Fingerprint(q), counters: counters}, nil
+	return planInfo{root: tmpl.Instantiate(q.K), fp: fp, counters: counters, k: q.K}, nil
 }
 
 // planForTraced is planFor under a span recorder: each stage gets a span,
@@ -351,7 +409,7 @@ func (e *Engine) planForTraced(tr *trace.Trace, sql string) (planInfo, *core.Dec
 		ls := tr.Begin("plan-cache", "pipeline")
 		wouldHit := false
 		if fp, _, ok := e.cache.lookupText(sql, epoch); ok {
-			_, wouldHit = e.cache.lookupPlan(fp, epoch)
+			_, wouldHit = e.cache.lookupPlan(fp, epoch, e.hintEpochFor(fp))
 		}
 		if wouldHit {
 			tr.Annotate(ls, "would_hit", "true")
@@ -373,6 +431,8 @@ func (e *Engine) planForTraced(tr *trace.Trace, sql string) (planInfo, *core.Dec
 	opts := e.opts
 	opts.Tracer = dt
 	opts.Workers = 1
+	hints, hintEpoch := e.hintsFor(fp)
+	opts.DepthHints = hints
 	os := tr.Begin("optimize", "pipeline")
 	res, err := core.Optimize(e.cat, q, opts)
 	if err != nil {
@@ -389,12 +449,12 @@ func (e *Engine) planForTraced(tr *trace.Trace, sql string) (planInfo, *core.Dec
 	tmpl := plan.NewTemplate(res.Best, q.K, counters)
 	if e.cache != nil {
 		e.cache.storeText(sql, fp, q.K, epoch)
-		e.cache.storePlan(fp, tmpl, epoch)
+		e.cache.storePlan(fp, tmpl, epoch, hintEpoch)
 	}
 	is := tr.Begin("instantiate", "pipeline")
 	root := tmpl.Instantiate(q.K)
 	tr.End(is)
-	return planInfo{root: root, fp: fp, counters: counters}, dt, nil
+	return planInfo{root: root, fp: fp, counters: counters, k: q.K}, dt, nil
 }
 
 // Run executes one complete query session and never panics on malformed
@@ -573,8 +633,65 @@ func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimit
 			EstDR: tj.node.EstDR,
 		})
 	}
+	if e.feedback != nil && len(joins) > 0 && resp.Fingerprint != "" {
+		demands := rankJoinDemands(root, float64(pi.k))
+		for _, tj := range joins {
+			e.observeDepths(resp.Fingerprint, tj.node, tj.op.Stats(), demands[tj.node])
+		}
+	}
 	resp.Elapsed = time.Since(start)
 	return resp
+}
+
+// rankJoinDemands replays Algorithm Propagate over the executed plan to
+// recover the output count each rank-join was asked for — the k an
+// empirical depth observation is anchored to.
+func rankJoinDemands(root *plan.Node, k float64) map[*plan.Node]float64 {
+	if k <= 0 {
+		k = root.Card
+	}
+	out := map[*plan.Node]float64{}
+	plan.PropagateK(root, k, func(n *plan.Node, nk float64) {
+		if n.Op.IsRankJoin() {
+			out[n] = nk
+		}
+	})
+	return out
+}
+
+// observeDepths is the depth-feedback capture: when a rank-join's measured
+// depths exceed the estimates by the configured ratio, the observation is
+// recorded under BOTH orientations of its table split (depths swapped) —
+// the DP enumerates mirrored splits, so the hint must match whichever side
+// the re-optimization puts left. An accepted observation bumps the
+// fingerprint's hint epoch, lazily invalidating its cached plan.
+func (e *Engine) observeDepths(fp string, n *plan.Node, st exec.RankJoinStats, demand float64) {
+	aL, aR := float64(st.LeftDepth), float64(st.RightDepth)
+	if n.Op == plan.OpNRJN {
+		// An NRJN drains its inner wholesale by construction, so the
+		// measured right depth says nothing about the model — comparing it
+		// against EstDR flags every NRJN as mis-estimated forever, and
+		// recording the full inner cardinality would poison the mirrored
+		// HRJN candidates at re-plan time. Only the outer depth is a real
+		// estimate; keep the model's inner figure in the observation.
+		if aL <= e.fbRatio*math.Max(n.EstDL, 1) {
+			return
+		}
+		aR = math.Max(n.EstDR, 1)
+	} else if aL <= e.fbRatio*math.Max(n.EstDL, 1) && aR <= e.fbRatio*math.Max(n.EstDR, 1) {
+		return
+	}
+	k := math.Max(demand, 1)
+	e.met.depthObservations.Add(1)
+	bumped := e.feedback.observe(fp, plan.DepthHintKey(n), estimate.Observed{K: k, DL: aL, DR: aR})
+	if e.feedback.observe(fp, mirrorHintKey(n), estimate.Observed{K: k, DL: aR, DR: aL}) || bumped {
+		e.met.depthAccepted.Add(1)
+	}
+}
+
+// mirrorHintKey is DepthHintKey with the sides swapped.
+func mirrorHintKey(n *plan.Node) string {
+	return strings.Join(n.Right().Tables(), ",") + "|" + strings.Join(n.Left().Tables(), ",")
 }
 
 // addOperatorSpans synthesizes one span per executed operator from the

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"sync"
+
+	"rankopt/internal/estimate"
+)
+
+// feedbackStore is the depth-feedback loop's memory: per query fingerprint,
+// the empirically observed rank-join depths of past executions, keyed by the
+// join's table split (plan.DepthHintKey). When an execution's measured depths
+// blow past the Section-4 estimates by the configured ratio, the engine
+// records them here; the next planning of the same fingerprint finds its
+// cached template stale (the hint epoch moved) and re-optimizes with the
+// observations injected as core.Options.DepthHints, so the DP/greedy costing
+// sees empirical depths instead of the model's misprediction.
+//
+// Published hint maps are copy-on-write: observe builds a fresh map on every
+// accepted observation and swaps it in, so snapshot can hand the current map
+// to an optimizer run without copying or holding the lock.
+type feedbackStore struct {
+	mu   sync.Mutex
+	byFP map[string]*fpFeedback
+}
+
+type fpFeedback struct {
+	// epoch counts accepted (new or materially larger) observations; the
+	// plan cache stores the epoch a template was built under and treats a
+	// moved epoch as a miss.
+	epoch uint64
+	// hints is the published split → observation map. Immutable once
+	// published; replaced wholesale by observe.
+	hints map[string]estimate.Observed
+}
+
+func newFeedbackStore() *feedbackStore {
+	return &feedbackStore{byFP: map[string]*fpFeedback{}}
+}
+
+// growFactor is the materiality threshold: a repeat observation of a known
+// split only bumps the hint epoch (and so forces a re-plan) when either
+// depth grew by more than this factor over the stored observation at the
+// same k. Without it the loop would invalidate the plan cache on every
+// execution whose depths wobble, and re-planning would never settle.
+const growFactor = 1.25
+
+// epochFor returns the fingerprint's current hint epoch (0 = never
+// observed).
+func (f *feedbackStore) epochFor(fp string) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if e, ok := f.byFP[fp]; ok {
+		return e.epoch
+	}
+	return 0
+}
+
+// snapshot returns the fingerprint's published hints and the epoch they
+// correspond to. The returned map is immutable — safe to hand to an
+// optimizer run as core.Options.DepthHints.
+func (f *feedbackStore) snapshot(fp string) (map[string]estimate.Observed, uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if e, ok := f.byFP[fp]; ok {
+		return e.hints, e.epoch
+	}
+	return nil, 0
+}
+
+// observe records one measured rank-join depth observation for the
+// fingerprint's given split key. It reports whether the observation was
+// accepted (new split, or materially deeper than the stored one) — an
+// accepted observation bumps the hint epoch, which lazily invalidates the
+// fingerprint's cached plan.
+func (f *feedbackStore) observe(fp, key string, ob estimate.Observed) bool {
+	if !ob.Valid() {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, okFP := f.byFP[fp]
+	if !okFP {
+		e = &fpFeedback{hints: map[string]estimate.Observed{}}
+		f.byFP[fp] = e
+	}
+	if prev, ok := e.hints[key]; ok {
+		// Compare at the stored observation's k so differently-scaled runs
+		// (other LIMITs of the same fingerprint) stay comparable.
+		dl, dr := ob.DepthsAt(prev.K)
+		if dl <= growFactor*prev.DL && dr <= growFactor*prev.DR {
+			return false
+		}
+	}
+	next := make(map[string]estimate.Observed, len(e.hints)+1)
+	for k, v := range e.hints {
+		next[k] = v
+	}
+	next[key] = ob
+	e.hints = next
+	e.epoch++
+	return true
+}

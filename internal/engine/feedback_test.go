@@ -1,0 +1,222 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rankopt/internal/catalog"
+	"rankopt/internal/core"
+	"rankopt/internal/estimate"
+	"rankopt/internal/relation"
+)
+
+// antiCorrCatalog builds the workload the Section-4 depth model mispredicts
+// by construction: T1's scores rise with the join key while T2's fall with
+// it, so the top of T1's ranking only joins with the bottom of T2's. The
+// model assumes scores independent of join keys and predicts shallow
+// depths; a rank join actually has to descend essentially both full inputs
+// before its threshold closes. This is exactly the estimation failure the
+// depth-feedback loop exists to repair.
+func antiCorrCatalog(t *testing.T, n, domain int) *catalog.Catalog {
+	t.Helper()
+	mk := func(name string, invert bool, seed int64) *relation.Relation {
+		sch := relation.NewSchema(
+			relation.Column{Table: name, Name: "id", Kind: relation.KindInt},
+			relation.Column{Table: name, Name: "key", Kind: relation.KindInt},
+			relation.Column{Table: name, Name: "score", Kind: relation.KindFloat},
+		)
+		rel := relation.New(name, sch)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			key := rng.Intn(domain)
+			pos := float64(key) / float64(domain)
+			if invert {
+				pos = 1 - pos
+			}
+			score := 0.9*pos + 0.1*rng.Float64()
+			rel.MustAppend(relation.Tuple{
+				relation.Int(int64(i)),
+				relation.Int(int64(key)),
+				relation.Float(score),
+			})
+		}
+		return rel
+	}
+	cat := catalog.New()
+	cat.AddTable(mk("T1", false, 401))
+	cat.AddTable(mk("T2", true, 402))
+	for _, tb := range []string{"T1", "T2"} {
+		for _, col := range []string{"score", "key"} {
+			if _, err := cat.CreateIndex(tb, col, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return cat
+}
+
+// topScores extracts the result's combined T1.score+T2.score values in
+// result order, so two runs can be compared on the answer itself (tuple
+// identity may legitimately differ under score ties).
+func topScores(t *testing.T, resp Response) []float64 {
+	t.Helper()
+	i1, i2 := -1, -1
+	for i, c := range resp.Columns {
+		switch c {
+		case "T1.score":
+			i1 = i
+		case "T2.score":
+			i2 = i
+		}
+	}
+	if i1 < 0 || i2 < 0 {
+		t.Fatalf("score columns missing from %v", resp.Columns)
+	}
+	out := make([]float64, len(resp.Tuples))
+	for i, tp := range resp.Tuples {
+		out[i] = tp[i1].AsFloat() + tp[i2].AsFloat()
+	}
+	return out
+}
+
+func depthSum(resp Response) int {
+	s := 0
+	for _, rj := range resp.RankJoins {
+		s += rj.Stats.LeftDepth + rj.Stats.RightDepth
+	}
+	return s
+}
+
+// TestDepthFeedbackConverges is the loop's end-to-end acceptance test: a
+// deliberately mis-estimated workload re-optimizes after one feedback epoch
+// into a plan with strictly lower actual rank-join depths, the answer stays
+// identical, and the loop then settles (the third run is a cache hit, not an
+// invalidation storm).
+func TestDepthFeedbackConverges(t *testing.T) {
+	cat := antiCorrCatalog(t, 3000, 1000)
+	eng := NewWithConfig(cat, Config{DepthFeedbackRatio: 2})
+	sql := "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 5"
+
+	// Epoch 0: the model's plan. The premise of the test is that the
+	// estimates are badly wrong here — assert it so a future estimator
+	// improvement degrades this test loudly instead of silently.
+	r1 := eng.Run(Request{ID: "cold", SQL: sql})
+	if r1.Err != nil {
+		t.Fatal(r1.Err)
+	}
+	if len(r1.RankJoins) == 0 {
+		t.Fatalf("cold run chose no rank join; workload no longer exercises the model")
+	}
+	misestimated := false
+	for _, rj := range r1.RankJoins {
+		if float64(rj.Stats.LeftDepth) > 2*math.Max(rj.EstDL, 1) ||
+			float64(rj.Stats.RightDepth) > 2*math.Max(rj.EstDR, 1) {
+			misestimated = true
+		}
+	}
+	if !misestimated {
+		t.Fatalf("model was not mis-estimated (depths %+v); the feedback premise is gone", r1.RankJoins)
+	}
+
+	// Epoch 1: the observation must have invalidated the cached plan, and
+	// the re-optimized plan must do strictly less rank-join work.
+	r2 := eng.Run(Request{ID: "warm", SQL: sql})
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	if r2.CacheHit {
+		t.Fatal("second run hit the cache; the depth observation did not invalidate the plan")
+	}
+	d1, d2 := depthSum(r1), depthSum(r2)
+	if d2 >= d1 {
+		t.Fatalf("no convergence: depths %d -> %d (plan did not improve)", d1, d2)
+	}
+
+	// The answer must not change — feedback repriced the plan, not the query.
+	s1, s2 := topScores(t, r1), topScores(t, r2)
+	sort.Sort(sort.Reverse(sort.Float64Slice(s1)))
+	sort.Sort(sort.Reverse(sort.Float64Slice(s2)))
+	if len(s1) != len(s2) {
+		t.Fatalf("result size changed: %d -> %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if math.Abs(s1[i]-s2[i]) > 1e-9 {
+			t.Fatalf("rank %d: score %v -> %v", i, s1[i], s2[i])
+		}
+	}
+
+	// The loop must settle: run three serves from the cache (the improved
+	// plan's depths no longer trip the ratio, or repeat observations are not
+	// materially deeper, so the hint epoch holds still).
+	r3 := eng.Run(Request{ID: "settled", SQL: sql})
+	if r3.Err != nil {
+		t.Fatal(r3.Err)
+	}
+	if !r3.CacheHit {
+		t.Fatal("third run missed the cache; the feedback loop is thrashing")
+	}
+
+	m := eng.Snapshot()
+	if m.DepthObservations == 0 || m.DepthAccepted == 0 || m.DepthReplans == 0 {
+		t.Fatalf("feedback metrics not reported: %+v", m)
+	}
+}
+
+// TestDepthFeedbackOff: without the config knob nothing is observed, no
+// epoch moves, and the second run is a plain cache hit.
+func TestDepthFeedbackOff(t *testing.T) {
+	cat := antiCorrCatalog(t, 1000, 40)
+	eng := New(cat, core.Options{})
+	sql := "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 5"
+	r1 := eng.Run(Request{SQL: sql})
+	if r1.Err != nil {
+		t.Fatal(r1.Err)
+	}
+	r2 := eng.Run(Request{SQL: sql})
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	if !r2.CacheHit {
+		t.Fatal("cache miss with feedback off")
+	}
+	if m := eng.Snapshot(); m.DepthObservations != 0 || m.DepthReplans != 0 {
+		t.Fatalf("feedback metrics moved with the loop off: %+v", m)
+	}
+}
+
+// TestFeedbackStoreMateriality pins the store's convergence contract: the
+// first observation of a split bumps the epoch, a repeat within the growth
+// factor does not, and a materially deeper repeat does.
+func TestFeedbackStoreMateriality(t *testing.T) {
+	f := newFeedbackStore()
+	if !f.observe("fp", "T1|T2", estimate.Observed{K: 5, DL: 100, DR: 100}) {
+		t.Fatal("first observation not accepted")
+	}
+	if f.epochFor("fp") != 1 {
+		t.Fatalf("epoch %d after first observation", f.epochFor("fp"))
+	}
+	// Slightly deeper: within the growth factor, must not thrash the epoch.
+	if f.observe("fp", "T1|T2", estimate.Observed{K: 5, DL: 110, DR: 105}) {
+		t.Fatal("insignificant repeat bumped the epoch")
+	}
+	// Materially deeper: re-plan.
+	if !f.observe("fp", "T1|T2", estimate.Observed{K: 5, DL: 300, DR: 100}) {
+		t.Fatal("materially deeper observation rejected")
+	}
+	if f.epochFor("fp") != 2 {
+		t.Fatalf("epoch %d after material observation", f.epochFor("fp"))
+	}
+	// Invalid observations never land.
+	if f.observe("fp", "T1|T2", estimate.Observed{K: 0, DL: 1, DR: 1}) {
+		t.Fatal("invalid observation accepted")
+	}
+	hints, epoch := f.snapshot("fp")
+	if epoch != 2 || hints["T1|T2"].DL != 300 {
+		t.Fatalf("snapshot = %+v at epoch %d", hints, epoch)
+	}
+	if _, e := f.snapshot("other"); e != 0 {
+		t.Fatal("unknown fingerprint has a non-zero epoch")
+	}
+}

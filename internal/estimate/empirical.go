@@ -1,0 +1,36 @@
+package estimate
+
+import "math"
+
+// Observed records empirically measured rank-join input depths: the depths an
+// executed operator actually reached while delivering k results. The engine's
+// depth-feedback loop captures these from EXPLAIN ANALYZE instrumentation when
+// the Section-4 model's estimate was badly wrong, and feeds them back into the
+// optimizer (core.Options.DepthHints) so the next plan-cache epoch pre-sizes
+// and costs with measured depths instead of the uniform-score model.
+type Observed struct {
+	// K is the output count the depths were measured at.
+	K float64 `json:"k"`
+	// DL and DR are the observed left and right input depths.
+	DL float64 `json:"dl"`
+	DR float64 `json:"dr"`
+}
+
+// Valid reports whether the observation carries usable finite measurements.
+func (ob Observed) Valid() bool {
+	return ob.K > 0 && ob.DL >= 0 && ob.DR >= 0 &&
+		!math.IsInf(ob.DL, 0) && !math.IsInf(ob.DR, 0) &&
+		!math.IsNaN(ob.DL) && !math.IsNaN(ob.DR)
+}
+
+// DepthsAt rescales the observation to a different output count k using the
+// Section-4 growth law: rank-join depths grow as sqrt(k/s), so the ratio of
+// depths at two ks is sqrt(k/K). Observations at the same k pass through
+// unchanged; invalid observations return zero (no hint).
+func (ob Observed) DepthsAt(k float64) (dl, dr float64) {
+	if !ob.Valid() || k <= 0 {
+		return 0, 0
+	}
+	f := math.Sqrt(k / ob.K)
+	return ob.DL * f, ob.DR * f
+}

@@ -96,7 +96,7 @@ func Propagate(root *Node, k float64, mode Mode) error {
 	if root == nil {
 		return fmt.Errorf("estimate: nil plan")
 	}
-	if k <= 0 {
+	if k <= 0 || math.IsNaN(k) {
 		return fmt.Errorf("estimate: non-positive k %v", k)
 	}
 	root.K = k
@@ -105,10 +105,33 @@ func Propagate(root *Node, k float64, mode Mode) error {
 		if k > root.N {
 			root.K = root.N
 		}
+		if root.K < 0 {
+			root.K = 0
+		}
 		return nil
 	}
-	// k cannot exceed the node's total output.
-	if oc := root.OutCard(); k > oc && oc > 0 {
+	if math.IsNaN(root.S) || root.S < 0 {
+		return fmt.Errorf("estimate: invalid selectivity %v", root.S)
+	}
+	// k cannot exceed the node's total output. A zero-output node — an empty
+	// base input or a vanishing selectivity product — short-circuits: the
+	// Section-4 estimators are undefined there (an unclamped k yields NaN/Inf
+	// depths that would poison executor pre-sizing via depth hints), and the
+	// true depths are bounded by what the children deliver: in the worst case
+	// the operator exhausts both inputs to prove no result exists. Every
+	// field stays finite.
+	oc := root.OutCard()
+	if oc <= 0 {
+		root.K = 0
+		lOut := math.Max(root.Left.OutCard(), 0)
+		rOut := math.Max(root.Right.OutCard(), 0)
+		root.CL, root.CR, root.DL, root.DR = lOut, rOut, lOut, rOut
+		if err := Propagate(root.Left, math.Max(lOut, 1), mode); err != nil {
+			return err
+		}
+		return Propagate(root.Right, math.Max(rOut, 1), mode)
+	}
+	if k > oc {
 		k = oc
 		root.K = k
 	}
@@ -136,23 +159,30 @@ func Propagate(root *Node, k float64, mode Mode) error {
 	if err != nil {
 		return err
 	}
-	// Clamp to what each child can produce.
-	d.CL = math.Min(d.CL, root.Left.OutCard())
-	d.CR = math.Min(d.CR, root.Right.OutCard())
-	d.DL = math.Min(d.DL, root.Left.OutCard())
-	d.DR = math.Min(d.DR, root.Right.OutCard())
+	// Clamp to what each child can produce; a degenerate estimate (NaN,
+	// negative, or infinite) falls back to full child consumption.
+	lOut, rOut := root.Left.OutCard(), root.Right.OutCard()
+	clamp := func(v, lim float64) float64 {
+		if math.IsNaN(v) || v < 0 || v > lim {
+			return lim
+		}
+		return v
+	}
+	d.CL = clamp(d.CL, lOut)
+	d.CR = clamp(d.CR, rOut)
+	d.DL = clamp(d.DL, lOut)
+	d.DR = clamp(d.DR, rOut)
 	root.CL, root.CR, root.DL, root.DR = d.CL, d.CR, d.DL, d.DR
 
 	childL, childR := d.DL, d.DR
 	if mode == ModeAnyK {
 		childL, childR = d.CL, d.CR
 	}
-	if childL < 1 {
-		childL = 1
-	}
-	if childR < 1 {
-		childR = 1
-	}
+	// Floor before clamping: a sub-1 estimate still demands one probe from
+	// the child, but never more than the child can actually deliver — the
+	// reverse order could push a child's required k above its own output.
+	childL = math.Min(math.Max(childL, 1), lOut)
+	childR = math.Min(math.Max(childR, 1), rOut)
 	if err := Propagate(root.Left, childL, mode); err != nil {
 		return err
 	}

@@ -91,9 +91,80 @@ func TestPropagateErrors(t *testing.T) {
 	if leaf.K != 100 {
 		t.Errorf("leaf K = %v, want clamp to 100", leaf.K)
 	}
-	bad := Join(Leaf(100, 0.01), Leaf(100, 0.01), 0) // zero selectivity
+	bad := Join(Leaf(100, 0.01), Leaf(100, 0.01), -0.5) // negative selectivity
 	if err := Propagate(bad, 10, ModeTopK); err == nil {
-		t.Error("zero selectivity must fail")
+		t.Error("negative selectivity must fail")
+	}
+	if err := Propagate(Leaf(100, 0.01), math.NaN(), ModeTopK); err == nil {
+		t.Error("NaN k must fail")
+	}
+}
+
+// finiteTree asserts every computed field in the tree is a finite number.
+func finiteTree(t *testing.T, n *Node) {
+	t.Helper()
+	for _, v := range []float64{n.K, n.CL, n.CR, n.DL, n.DR} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite propagated field in %+v", *n)
+		}
+	}
+	if !n.IsLeaf() {
+		finiteTree(t, n.Left)
+		finiteTree(t, n.Right)
+	}
+}
+
+// A zero-selectivity join produces no output; Propagate must short-circuit
+// with finite depths (worst case: exhaust both inputs to prove emptiness)
+// instead of passing an unclamped k into the estimators.
+func TestPropagateZeroSelectivity(t *testing.T) {
+	bad := Join(Leaf(100, 0.01), Leaf(200, 0.01), 0)
+	if err := Propagate(bad, 10, ModeTopK); err != nil {
+		t.Fatal(err)
+	}
+	finiteTree(t, bad)
+	if bad.K != 0 {
+		t.Errorf("zero-output K = %v, want 0", bad.K)
+	}
+	if bad.DL != 100 || bad.DR != 200 {
+		t.Errorf("zero-output depths %v/%v, want full inputs 100/200", bad.DL, bad.DR)
+	}
+}
+
+// An empty base input (N = 0, e.g. empty-table stats) zeroes the join output;
+// depths stay finite at every node and each K respects its node's output.
+func TestPropagateEmptyLeaf(t *testing.T) {
+	for _, mode := range []Mode{ModeTopK, ModeAnyK, ModeAvg} {
+		empty := Join(Leaf(0, 0.01), Leaf(1000, 0.001), 0.05)
+		root := Join(empty, Leaf(1000, 0.001), 0.05)
+		if err := Propagate(root, 25, mode); err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		finiteTree(t, root)
+		if root.K != 0 || empty.K != 0 {
+			t.Errorf("mode %d: K through empty subtree = %v/%v, want 0", mode, root.K, empty.K)
+		}
+		if empty.Left.K != 0 {
+			t.Errorf("mode %d: empty leaf K = %v, want 0", mode, empty.Left.K)
+		}
+	}
+}
+
+// The <1 depth floor must not push a child's required k above the child's own
+// deliverable output (a sub-1 expected cardinality from a highly selective
+// child join): floor first, then clamp to the child's OutCard.
+func TestPropagateFloorClampOrder(t *testing.T) {
+	tiny := Join(Leaf(2, 0.5), Leaf(2, 0.5), 0.1) // OutCard = 0.4
+	root := Join(tiny, Leaf(1000, 0.001), 0.5)
+	if err := Propagate(root, 10, ModeTopK); err != nil {
+		t.Fatal(err)
+	}
+	finiteTree(t, root)
+	if oc := tiny.OutCard(); tiny.K > oc+1e-12 {
+		t.Errorf("child K %v exceeds its deliverable output %v", tiny.K, oc)
+	}
+	if root.DL > tiny.OutCard()+1e-12 {
+		t.Errorf("root DL %v exceeds left child output %v", root.DL, tiny.OutCard())
 	}
 }
 

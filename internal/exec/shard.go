@@ -354,18 +354,6 @@ func (m *ShardMerge) OpenCtx(ctx context.Context) error {
 	return nil
 }
 
-// monoSlack is the monotonicity-assertion tolerance around bound u: shard
-// streams must descend, but the a-priori ceiling and the stream's own scores
-// are computed by differently ordered float arithmetic, so exact comparison
-// would misfire on rounding noise.
-func monoSlack(u float64) float64 {
-	a := math.Abs(u)
-	if a < 1 || math.IsInf(a, 0) {
-		a = 1
-	}
-	return 1e-9 * a
-}
-
 func (m *ShardMerge) gather(ctx context.Context) error {
 	n := len(m.inputs)
 	width := m.StartWidth
@@ -528,11 +516,9 @@ func (m *ShardMerge) absorb(msg ShardMsg, bounds *ranking.Bounds, pulled []int, 
 			score = f
 		}
 	}
-	if u := bounds.Upper(msg.Shard); !bounds.Exhausted(msg.Shard) && score > u+monoSlack(u) {
-		return fmt.Errorf("exec: shard %d emitted score %v above its bound %v — shard streams must descend",
-			msg.Shard, score, u)
+	if err := bounds.Observe(msg.Shard, score); err != nil {
+		return fmt.Errorf("exec: shard stream broke the descending-order contract: %w", err)
 	}
-	bounds.Observe(msg.Shard, score)
 	pulled[msg.Shard]++
 	m.stats.TuplesPulled++
 	e := mergeEntry{score: score, shard: msg.Shard, seq: *seq, tuple: msg.Tuple}

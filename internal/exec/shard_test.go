@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"rankopt/internal/ranking"
 	"rankopt/internal/relation"
 )
 
@@ -220,15 +221,44 @@ func TestShardMergeEarlyStopsMidStream(t *testing.T) {
 }
 
 // TestShardMergeMonotonicViolation: a shard stream that rises above its own
-// observed bound breaks the correctness argument and must fail loudly.
+// observed bound breaks the correctness argument and must fail loudly with
+// the typed ranking.OrderViolationError — a silently stale bound could prune
+// a shard that still beats the k-th score.
 func TestShardMergeMonotonicViolation(t *testing.T) {
 	inputs := ShardInputs(shardStream(0, 5, 3, 9))
 	m, err := NewShardMerge(inputs, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Open(); err == nil || !strings.Contains(err.Error(), "descend") {
-		t.Fatalf("Open = %v, want monotonicity error", err)
+	openErr := m.Open()
+	if openErr == nil || !strings.Contains(openErr.Error(), "descend") {
+		t.Fatalf("Open = %v, want monotonicity error", openErr)
+	}
+	var ov *ranking.OrderViolationError
+	if !errors.As(openErr, &ov) {
+		t.Fatalf("Open = %v, want wrapped *ranking.OrderViolationError", openErr)
+	}
+	if ov.Score != 9 || ov.Bound != 3 {
+		t.Fatalf("violation detail = %+v", *ov)
+	}
+}
+
+// TestShardMergeNaNScore: a NaN score cannot be ordered, so it must surface
+// the typed order-violation error instead of being silently dropped from the
+// bound (where it would freeze the shard's pruning threshold).
+func TestShardMergeNaNScore(t *testing.T) {
+	inputs := ShardInputs(shardStream(0, 5, math.NaN(), 3))
+	m, err := NewShardMerge(inputs, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openErr := m.Open()
+	var ov *ranking.OrderViolationError
+	if !errors.As(openErr, &ov) {
+		t.Fatalf("Open = %v, want wrapped *ranking.OrderViolationError", openErr)
+	}
+	if !math.IsNaN(ov.Score) {
+		t.Fatalf("violation detail = %+v, want NaN score", *ov)
 	}
 }
 

@@ -50,6 +50,9 @@ type Report struct {
 	Plans int
 	// Results is the agreed result count (min(k, join size)).
 	Results int
+	// GreedyFallback reports whether the greedy planner cross-check fell
+	// back to the DP for this case (single-table shapes do).
+	GreedyFallback bool
 }
 
 // scoreTerm is one weighted table contribution of the generated query.
@@ -264,7 +267,32 @@ func Run(c Case) (Report, error) {
 				c.Seed, pi, len(res.AllPlans), err, c.SQL, plan.Explain(root))
 		}
 	}
-	return Report{SQL: c.SQL, Plans: len(res.AllPlans), Results: len(want)}, nil
+
+	// Greedy cross-check: the fast-path planner must agree with brute force
+	// on every corpus case (the plan may differ from the DP's; the answer
+	// may not).
+	gres, err := core.Optimize(c.cat, q, core.Options{Planner: core.PlannerGreedy})
+	if err != nil {
+		return Report{}, fmt.Errorf("seed %d: greedy optimize %q: %w", c.Seed, c.SQL, err)
+	}
+	gop, err := plan.Compile(c.cat, gres.Best)
+	if err != nil {
+		return Report{}, fmt.Errorf("seed %d: greedy compile: %w\n%s", c.Seed, err, plan.Explain(gres.Best))
+	}
+	gtuples, err := exec.Collect(gop)
+	if err != nil {
+		return Report{}, fmt.Errorf("seed %d: greedy execute: %w\n%s", c.Seed, err, plan.Explain(gres.Best))
+	}
+	ggot := make([]float64, len(gtuples))
+	for i, t := range gtuples {
+		ggot[i] = t[len(t)-2].AsFloat()
+	}
+	if err := compareScores(want, ggot); err != nil {
+		return Report{}, fmt.Errorf("seed %d: greedy plan: %w\nquery: %s\n%s",
+			c.Seed, err, c.SQL, plan.Explain(gres.Best))
+	}
+
+	return Report{SQL: c.SQL, Plans: len(res.AllPlans), Results: len(want), GreedyFallback: gres.GreedyFallback}, nil
 }
 
 // compareTuples asserts two result sets are identical: same count, same

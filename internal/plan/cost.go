@@ -158,6 +158,15 @@ func (n *Node) Depths(k float64) (float64, float64) {
 	if k > n.Card && n.Card >= 1 {
 		k = n.Card
 	}
+	// An empirical observation from the feedback loop overrides the model:
+	// the executor measured these depths on this exact table split.
+	if n.DepthHint != nil {
+		if dl, dr := n.DepthHint.DepthsAt(k); dl > 0 || dr > 0 {
+			dL := math.Min(math.Max(dl, 1), n.Left().Card)
+			dR := math.Min(math.Max(dr, 1), n.Right().Card)
+			return math.Max(dL, 0), math.Max(dR, 0)
+		}
+	}
 	s := n.Sel
 	if s <= 0 {
 		s = 1e-9
@@ -196,6 +205,10 @@ func (n *Node) Depths(k float64) (float64, float64) {
 // sides are single ranked base inputs with known slabs; hierarchies fall
 // back to the symmetric model's left depth.
 func (n *Node) nrjnOuterDepth(k float64) float64 {
+	if n.DepthHint != nil {
+		dL, _ := n.Depths(k)
+		return dL
+	}
 	if k < 1 {
 		k = 1
 	}

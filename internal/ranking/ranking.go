@@ -185,7 +185,9 @@ func TA(lists []Source, weights []float64, k int) ([]Result, Stats, error) {
 				continue
 			}
 			stats.SortedAccesses[i]++
-			bounds.Observe(i, sc)
+			if err := bounds.Observe(i, sc); err != nil {
+				return nil, stats, err
+			}
 			if seen[id] {
 				continue
 			}
@@ -269,7 +271,9 @@ func NRA(lists []SortedAccess, weights []float64, k int) ([]Result, Stats, error
 				return nil, stats, fmt.Errorf("ranking: NRA requires non-negative scores, got %v", sc)
 			}
 			stats.SortedAccesses[i]++
-			bounds.Observe(i, sc)
+			if err := bounds.Observe(i, sc); err != nil {
+				return nil, stats, err
+			}
 			c := cands[id]
 			if c == nil {
 				c = &nraCand{id: id, known: make([]bool, m)}

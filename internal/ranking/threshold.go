@@ -1,6 +1,39 @@
 package ranking
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
+
+// OrderViolationError reports a source that broke the descending-order
+// contract Bounds depends on: it emitted a score above its own bound, or a
+// NaN, which cannot be ordered at all. Silently keeping the stale-tight bound
+// would let threshold-style pruning (TA, NRA, the sharded merge) cut a source
+// that could still beat the k-th score — wrong answers instead of a loud
+// failure.
+type OrderViolationError struct {
+	Source int
+	Score  float64
+	Bound  float64
+}
+
+func (e *OrderViolationError) Error() string {
+	if math.IsNaN(e.Score) {
+		return fmt.Sprintf("ranking: source %d emitted NaN score (bound %v) — scores must be orderable and descending", e.Source, e.Bound)
+	}
+	return fmt.Sprintf("ranking: source %d emitted score %v above its bound %v — sources must emit in descending order", e.Source, e.Score, e.Bound)
+}
+
+// orderSlack is the tolerance around bound u when asserting descending order:
+// a-priori ceilings and stream scores are computed by differently ordered
+// float arithmetic, so exact comparison would misfire on rounding noise.
+func orderSlack(u float64) float64 {
+	a := math.Abs(u)
+	if a < 1 || math.IsInf(a, 0) {
+		a = 1
+	}
+	return 1e-9 * a
+}
 
 // Bounds tracks per-source upper bounds for threshold-style early
 // termination. It is the machinery shared by TA, NRA, and the sharded
@@ -39,11 +72,18 @@ func (b *Bounds) SetCeiling(i int, v float64) {
 }
 
 // Observe records a score emitted by source i. Because sources emit in
-// descending order, the observation bounds every future emission.
-func (b *Bounds) Observe(i int, score float64) {
-	if score < b.upper[i] {
+// descending order, the observation bounds every future emission. A score
+// above the current bound (beyond rounding slack) or a NaN breaks that
+// contract and returns an *OrderViolationError; the bound is left unchanged.
+func (b *Bounds) Observe(i int, score float64) error {
+	u := b.upper[i]
+	if math.IsNaN(score) || score > u+orderSlack(u) {
+		return &OrderViolationError{Source: i, Score: score, Bound: u}
+	}
+	if score < u {
 		b.upper[i] = score
 	}
+	return nil
 }
 
 // Exhaust marks source i as having no further output.

@@ -1,6 +1,7 @@
 package ranking
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -18,16 +19,24 @@ func TestBoundsLifecycle(t *testing.T) {
 	if b.Upper(0) != 10 {
 		t.Fatalf("Upper(0) = %v after ceilings 10 then 20", b.Upper(0))
 	}
-	b.Observe(0, 7)
-	b.Observe(0, 9) // observations only tighten too
-	if b.Upper(0) != 7 {
-		t.Fatalf("Upper(0) = %v after observing 7 then 9", b.Upper(0))
+	if err := b.Observe(0, 7); err != nil {
+		t.Fatalf("descending observation rejected: %v", err)
 	}
-	b.Observe(1, 4)
+	if err := b.Observe(0, 9); err == nil { // rising score = order violation
+		t.Fatal("rising score must be rejected")
+	}
+	if b.Upper(0) != 7 { // and the stale bound must not loosen either
+		t.Fatalf("Upper(0) = %v after observing 7 then rejected 9", b.Upper(0))
+	}
+	if err := b.Observe(1, 4); err != nil {
+		t.Fatal(err)
+	}
 	if b.MaxUpper() != math.Inf(1) { // list 2 still unobserved
 		t.Fatalf("MaxUpper = %v", b.MaxUpper())
 	}
-	b.Observe(2, 5)
+	if err := b.Observe(2, 5); err != nil {
+		t.Fatal(err)
+	}
 	if b.MaxUpper() != 7 {
 		t.Fatalf("MaxUpper = %v, want 7", b.MaxUpper())
 	}
@@ -45,5 +54,44 @@ func TestBoundsLifecycle(t *testing.T) {
 	}
 	if !math.IsInf(b.MaxUpper(), -1) {
 		t.Fatalf("MaxUpper after exhaustion = %v", b.MaxUpper())
+	}
+}
+
+// Out-of-order and NaN observations must fail loudly with the typed error —
+// silently keeping a stale-tight bound would let threshold pruning cut a
+// source that can still beat the k-th score.
+func TestBoundsOrderViolation(t *testing.T) {
+	b := NewBounds(2)
+	if err := b.Observe(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Observe(0, 5.1)
+	var ov *OrderViolationError
+	if !errors.As(err, &ov) {
+		t.Fatalf("rising score: got %v, want *OrderViolationError", err)
+	}
+	if ov.Source != 0 || ov.Score != 5.1 || ov.Bound != 5 {
+		t.Fatalf("violation detail = %+v", *ov)
+	}
+	// Equal and within-slack repeats are rounding noise, not violations.
+	if err := b.Observe(0, 5); err != nil {
+		t.Fatalf("equal score rejected: %v", err)
+	}
+	if err := b.Observe(0, 5+1e-12); err != nil {
+		t.Fatalf("within-slack score rejected: %v", err)
+	}
+	// NaN can never be ordered; it must be rejected even on a fresh source.
+	if err := b.Observe(1, math.NaN()); !errors.As(err, &ov) {
+		t.Fatalf("NaN: got %v, want *OrderViolationError", err)
+	}
+	// A first observation above an a-priori ceiling breaks the same contract.
+	b2 := NewBounds(1)
+	b2.SetCeiling(0, 10)
+	if err := b2.Observe(0, 11); !errors.As(err, &ov) {
+		t.Fatalf("above-ceiling score: got %v, want *OrderViolationError", err)
+	}
+	// -Inf (NULL scores sorting last) is a legal descending observation.
+	if err := b2.Observe(0, math.Inf(-1)); err != nil {
+		t.Fatalf("-Inf observation rejected: %v", err)
 	}
 }
