@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench throughput plancache oracle fuzz cancel trace batch shard planner ci
+.PHONY: all fmt vet build test race bench throughput plancache oracle fuzz cancel trace batch shard planner anyk ci
 
 all: ci
 
@@ -65,6 +65,12 @@ shard: build
 # the DP's, the answers diverge, or greedy silently fell back to the DP.
 planner: build
 	$(GO) run ./cmd/raqo-bench -planner -out BENCH_planner.json
+
+# Any-k enumeration vs MultiHRJN operator sweep (width x k crossover with a
+# three-way brute-force parity check); emits BENCH_anyk.json and exits nonzero
+# when any answers diverge or no sweep point shows any-k at least 1.5x faster.
+anyk: build
+	$(GO) run ./cmd/raqo-bench -anyk -out BENCH_anyk.json
 
 ci: fmt vet build race
 	$(GO) test ./internal/oracle -quick

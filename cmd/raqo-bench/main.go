@@ -33,6 +33,12 @@
 //	                           # BENCH_shard.json; exits nonzero when shard=4
 //	                           # throughput is below -minspeedup x shard=1 or
 //	                           # the bounds never stopped a shard early
+//	raqo-bench -anyk           # any-k enumeration vs MultiHRJN sweep over
+//	                           # join width x k with three-way correctness
+//	                           # checking, written to BENCH_anyk.json; exits
+//	                           # nonzero when the answers diverge or no sweep
+//	                           # point shows any-k beating MultiHRJN by
+//	                           # -minanykspeedup
 //	raqo-bench -planner        # two-speed planner comparison: DP vs greedy
 //	                           # planning wall time and chosen-plan cost over
 //	                           # a selectivity sweep, with executed top-k
@@ -93,8 +99,10 @@ func main() {
 		batchBench  = flag.Bool("batch", false, "run the batch vs per-tuple executor comparison")
 		shardBench  = flag.Bool("shard", false, "run the sharded scatter-gather scaling sweep")
 		planBench   = flag.Bool("planner", false, "run the DP vs greedy planner comparison")
+		anykBench   = flag.Bool("anyk", false, "run the any-k vs MultiHRJN operator sweep")
 		minSpeedup  = flag.Float64("minspeedup", 1.5, "fail when shard=4 qps is below this multiple of shard=1 (-shard)")
 		minPlanSpd  = flag.Float64("minplanspeedup", 10.0, "fail when greedy planning is below this speedup over the DP (-planner)")
+		minAnyKSpd  = flag.Float64("minanykspeedup", 1.5, "fail when no sweep point shows any-k beating MultiHRJN by this factor (-anyk)")
 		maxQuality  = flag.Float64("maxqualityloss", 0.2, "fail when a greedy plan costs more than 1+this times the DP plan (-planner)")
 		maxErr      = flag.Float64("maxerr", 3.0, "fail when the sweep's mean relative depth error exceeds this (-analyze)")
 		maxSlowdown = flag.Float64("maxslowdown", 50.0, "fail when traced sessions are this many times slower than untraced (-trace)")
@@ -183,6 +191,17 @@ func main() {
 		}
 		return
 	}
+	if *anykBench {
+		path := *out
+		if path == "" {
+			path = "BENCH_anyk.json"
+		}
+		if err := runAnyK(path, *rows, *minAnyKSpd); err != nil {
+			fmt.Fprintln(os.Stderr, "raqo-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *cancelBench {
 		path := *out
 		if path == "" {
@@ -197,7 +216,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Println("usage: raqo-bench all | <experiment>... | -concurrency | -plancache | -analyze | -cancel | -trace | -batch | -shard | -planner")
+		fmt.Println("usage: raqo-bench all | <experiment>... | -concurrency | -plancache | -analyze | -cancel | -trace | -batch | -shard | -planner | -anyk")
 		fmt.Println("experiments:")
 		for _, e := range bench.All() {
 			fmt.Printf("  %-10s %s\n", e.Name, e.What)
@@ -381,6 +400,29 @@ func runPlanner(out string, rows int, minSpeedup, maxQualityLoss float64) error 
 	// The two-speed gate: greedy must earn its keep on planning time without
 	// giving up plan quality or answer correctness.
 	return rep.CheckGates(minSpeedup, maxQualityLoss)
+}
+
+func runAnyK(out string, rows int, minSpeedup float64) error {
+	cfg := bench.DefaultAnyKConfig()
+	if rows > 0 {
+		cfg.Rows = rows
+	}
+	rep, err := bench.AnyK(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.Table())
+	data, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	// The crossover gate: the answers must agree everywhere and any-k must
+	// win somewhere, or the DP has nothing to bank on when it picks AnyK.
+	return rep.CheckGates(minSpeedup)
 }
 
 func runCancel(out string, rows, sessions int, workers string) error {

@@ -191,9 +191,9 @@ func printMetrics(w io.Writer, eng *engine.Engine) {
 		m.AvgLatencyMillis, m.P50LatencyMillis, m.P99LatencyMillis)
 	fmt.Fprintf(w, "plan cache: hits=%d misses=%d invalidations=%d entries=%d\n",
 		m.CacheHits, m.CacheMisses, m.CacheInvalidations, m.CacheEntries)
-	fmt.Fprintf(w, "optimizer: runs=%d generated=%d pruned=%d protected=%d traced=%d slow=%d\n",
+	fmt.Fprintf(w, "optimizer: runs=%d generated=%d pruned=%d protected=%d traced=%d slow=%d anyk-plans=%d\n",
 		m.OptimizerRuns, m.PlansGenerated, m.PlansPruned, m.PlansProtected,
-		m.TracedQueries, m.SlowQueries)
+		m.TracedQueries, m.SlowQueries, m.AnyKPlans)
 	fmt.Fprintf(w, "depth feedback: observations=%d accepted=%d replans=%d\n",
 		m.DepthObservations, m.DepthAccepted, m.DepthReplans)
 	fmt.Fprintf(w, "runtime: goroutines=%d heap=%dKB objects=%d gc=%d pause-p99=%.0fµs\n",

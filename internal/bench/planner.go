@@ -60,7 +60,10 @@ func DefaultPlannerConfig() PlannerConfig {
 // cost model, their ratio, and whether the two plans' executed top-k
 // answers agreed on the parity catalog.
 type PlannerPoint struct {
-	Selectivity  float64 `json:"selectivity"`
+	Selectivity float64 `json:"selectivity"`
+	// Seed is the per-point workload seed (derived from Config.Seed), stamped
+	// so a single point can be reproduced without rerunning the sweep.
+	Seed         int64   `json:"seed"`
 	DPMicros     float64 `json:"dp_plan_us"`
 	GreedyMicros float64 `json:"greedy_plan_us"`
 	Speedup      float64 `json:"speedup"`
@@ -152,9 +155,13 @@ func Planner(cfg PlannerConfig) (*PlannerReport, error) {
 		return nil, fmt.Errorf("bench: parse %q: %w", sql, err)
 	}
 	var speedups []float64
-	for _, sel := range cfg.Selectivities {
+	for si, sel := range cfg.Selectivities {
+		// Each sweep point gets its own derived seed: reusing cfg.Seed at
+		// every selectivity made all points share one key/score draw, so a
+		// generator quirk at that seed skewed the whole sweep.
+		seed := cfg.Seed + int64(si)*1009
 		cat, _ := workload.RankedSet(cfg.Tables, workload.RankedConfig{
-			N: cfg.Rows, Selectivity: sel, Seed: cfg.Seed,
+			N: cfg.Rows, Selectivity: sel, Seed: seed,
 		})
 		// One untimed warmup per planner settles one-time costs (stats
 		// loading, allocator warmth) outside the measurement.
@@ -168,6 +175,7 @@ func Planner(cfg PlannerConfig) (*PlannerReport, error) {
 		}
 		pt := PlannerPoint{
 			Selectivity: sel,
+			Seed:        seed,
 			DPMicros: medianMicros(cfg.Trials, func() {
 				_, _ = core.Optimize(cat, q, core.Options{})
 			}),
@@ -184,7 +192,7 @@ func Planner(cfg PlannerConfig) (*PlannerReport, error) {
 		// Parity: both plan shapes re-planned over a small catalog of the
 		// same selectivity must produce identical top-k score sequences.
 		ecat, _ := workload.RankedSet(cfg.Tables, workload.RankedConfig{
-			N: cfg.ExecRows, Selectivity: sel, Seed: cfg.Seed + 1,
+			N: cfg.ExecRows, Selectivity: sel, Seed: seed + 1,
 		})
 		dpE, err1 := core.Optimize(ecat, q, core.Options{})
 		gE, err2 := core.Optimize(ecat, q, core.Options{Planner: core.PlannerGreedy})

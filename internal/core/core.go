@@ -67,6 +67,9 @@ type Options struct {
 	// DisableHRJN / DisableNRJN remove individual rank-join choices.
 	DisableHRJN bool
 	DisableNRJN bool
+	// DisableAnyK removes the any-k ranked-enumeration alternative (the
+	// Lawler-style path enumerator over unordered inputs).
+	DisableAnyK bool
 	// DisablePipelineProtection lets blocking plans prune pipelined plans
 	// on cost alone, removing the First-N-Rows property.
 	DisablePipelineProtection bool

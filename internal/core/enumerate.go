@@ -315,6 +315,9 @@ func (o *optimizer) enumerateMask(acc *maskAcc) {
 		}
 		o.joinSplit(acc, sub, rest, preds, s)
 	}
+	// The any-k enumerator covers the whole subset in one operator, so it is
+	// generated per mask rather than per split.
+	o.anyKCandidates(acc)
 }
 
 // joinSplit generates all join candidates for one ordered (sub, rest) split.

@@ -79,6 +79,13 @@ func (o *optimizer) greedyPlan() *plan.Node {
 			best, bestCost = p, c
 		}
 	}
+	// The any-k enumerator is a single full-query operator, not a per-step
+	// join choice, so it competes against the finished left-deep walk.
+	if ak := o.anyKPlanFor(o.fullMask()); ak != nil {
+		if c := o.greedyFinalCost(ak); c < bestCost {
+			best, bestCost = ak, c
+		}
+	}
 	return best
 }
 

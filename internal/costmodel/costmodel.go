@@ -130,3 +130,29 @@ func (p Params) HeapPush(ops, size float64) float64 {
 	}
 	return ops * math.Log2(size) * p.CPUCompare
 }
+
+// AnyKBuild is the per-input cost of the any-k bottom-up phase over n tuples
+// spread across buckets of ~g tuples: hash partitioning (one hash op per
+// tuple), the per-bucket suffix sort, and the tuple handling itself. The sort
+// is charged at the bucket granularity — n·log2(g) total — which is what
+// makes the build cheaper than sorting the whole input when buckets are
+// small.
+func (p Params) AnyKBuild(n, g float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	g = math.Max(g, 2)
+	return n*p.CPUCompare + n*math.Log2(g)*p.CPUCompare + n*p.CPUTuple
+}
+
+// AnyKDelay is the enumeration cost of producing k results from an m-way
+// any-k path: each pop re-walks the m-level path and pushes up to m
+// successors onto a queue that holds O(k·m) pending solutions — the
+// operator's delay bound, independent of the join's output cardinality.
+func (p Params) AnyKDelay(k, m float64) float64 {
+	if k <= 0 || m <= 0 {
+		return 0
+	}
+	ops := k * m
+	return p.HeapPush(ops, math.Max(ops, 2)) + ops*p.CPUTuple
+}

@@ -546,6 +546,9 @@ func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimit
 		resp.Elapsed = time.Since(start)
 		return resp
 	}
+	if root.CountOps(plan.OpAnyK) > 0 {
+		e.met.anykPlans.Add(1)
+	}
 	// Sharded tier: qualifying plans run one pipeline per shard under the
 	// early-stop coordinator. Analyze and traced sessions stay on the single
 	// path (their per-operator instrumentation assumes one tree); plans the

@@ -88,6 +88,11 @@ type metrics struct {
 	optPruned    atomic.Uint64
 	optProtected atomic.Uint64
 
+	// anykPlans counts executed sessions whose chosen plan carried an any-k
+	// enumerator — the engine-wide view of how often the DP's crossover
+	// actually fires in traffic.
+	anykPlans atomic.Uint64
+
 	// depthObservations..depthReplans report the depth-feedback loop:
 	// rank-joins whose measured depths blew past the estimates by the
 	// configured ratio, observations accepted into the store (new split or
@@ -202,6 +207,10 @@ type Metrics struct {
 	PlansPruned    uint64 `json:"plans_pruned"`
 	PlansProtected uint64 `json:"plans_protected"`
 
+	// AnyKPlans counts executed sessions whose chosen plan carried an any-k
+	// enumerator.
+	AnyKPlans uint64 `json:"anyk_plans"`
+
 	// DepthObservations..DepthReplans report the depth-feedback loop (all
 	// zero when Config.DepthFeedbackRatio is 0): mispredicted rank-joins
 	// seen, observations accepted into the feedback store, and
@@ -290,6 +299,7 @@ func (e *Engine) Snapshot() Metrics {
 		PlansGenerated:     e.met.optGenerated.Load(),
 		PlansPruned:        e.met.optPruned.Load(),
 		PlansProtected:     e.met.optProtected.Load(),
+		AnyKPlans:          e.met.anykPlans.Load(),
 		DepthObservations:  e.met.depthObservations.Load(),
 		DepthAccepted:      e.met.depthAccepted.Load(),
 		DepthReplans:       e.met.depthReplans.Load(),
@@ -398,6 +408,7 @@ func (e *Engine) serveMetricsText(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE raqo_optimizer_plans_generated_total counter\nraqo_optimizer_plans_generated_total %d\n", m.PlansGenerated)
 	fmt.Fprintf(w, "# TYPE raqo_optimizer_plans_pruned_total counter\nraqo_optimizer_plans_pruned_total %d\n", m.PlansPruned)
 	fmt.Fprintf(w, "# TYPE raqo_optimizer_plans_protected_total counter\nraqo_optimizer_plans_protected_total %d\n", m.PlansProtected)
+	fmt.Fprintf(w, "# TYPE raqo_anyk_plans_total counter\nraqo_anyk_plans_total %d\n", m.AnyKPlans)
 	fmt.Fprintf(w, "# TYPE raqo_depth_feedback_observations_total counter\nraqo_depth_feedback_observations_total %d\n", m.DepthObservations)
 	fmt.Fprintf(w, "# TYPE raqo_depth_feedback_accepted_total counter\nraqo_depth_feedback_accepted_total %d\n", m.DepthAccepted)
 	fmt.Fprintf(w, "# TYPE raqo_depth_feedback_replans_total counter\nraqo_depth_feedback_replans_total %d\n", m.DepthReplans)

@@ -1,0 +1,203 @@
+package exec
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rankopt/internal/expr"
+	"rankopt/internal/ranking"
+	"rankopt/internal/relation"
+	"rankopt/internal/workload"
+)
+
+// This file is the order-contract property test: every ranked operator in
+// the executor — HRJN, NRJN, MultiHRJN, TASelect, AnyK, ShardMerge — must
+// emit monotonically non-increasing combined scores with deterministic
+// tie-breaking, across seeded randomized workloads. The monotonicity check
+// reuses ranking.Bounds.Observe, the same machinery the threshold operators
+// trust at runtime, so a violation here surfaces as the production
+// *ranking.OrderViolationError rather than a bespoke test assertion.
+
+// rankedCase builds one ranked operator plus the score extractor for its
+// output tuples. Construction happens per run so determinism can be checked
+// by building twice.
+type rankedCase struct {
+	name  string
+	build func(seed int64) (Operator, func(relation.Tuple) float64)
+}
+
+// pathScore sums the m per-input score columns of a (id, key, score)^m
+// concatenated output.
+func pathScore(m int) func(relation.Tuple) float64 {
+	return func(tup relation.Tuple) float64 { return combinedScoreM(tup, m) }
+}
+
+// propRels builds m ranked relations with per-relation derived seeds.
+func propRels(m, n int, sel float64, seed int64) []*relation.Relation {
+	rels := make([]*relation.Relation, m)
+	for i := 0; i < m; i++ {
+		rels[i] = workload.Ranked(workload.RankedConfig{
+			Name: string(rune('A' + i)), N: n, Selectivity: sel, Seed: seed + int64(i)*7919,
+		})
+	}
+	return rels
+}
+
+func rankedOperatorCases(t *testing.T) []rankedCase {
+	t.Helper()
+	return []rankedCase{
+		{"HRJN", func(seed int64) (Operator, func(relation.Tuple) float64) {
+			rels := propRels(2, 220, 0.06, seed)
+			j := NewHRJN(rankedScan(rels[0]), rankedScan(rels[1]),
+				expr.Col("A", "score"), expr.Col("B", "score"),
+				expr.Col("A", "key"), expr.Col("B", "key"), nil)
+			return j, pathScore(2)
+		}},
+		{"NRJN", func(seed int64) (Operator, func(relation.Tuple) float64) {
+			rels := propRels(2, 160, 0.08, seed)
+			j := NewNRJN(rankedScan(rels[0]), rankedScan(rels[1]),
+				expr.Col("A", "score"), expr.Col("B", "score"),
+				expr.Bin(expr.OpEq, expr.Col("A", "key"), expr.Col("B", "key")))
+			return j, pathScore(2)
+		}},
+		{"MultiHRJN", func(seed int64) (Operator, func(relation.Tuple) float64) {
+			rels := propRels(3, 180, 0.06, seed)
+			inputs := make([]Operator, len(rels))
+			scores := make([]expr.Expr, len(rels))
+			keys := make([]expr.Expr, len(rels))
+			for i, r := range rels {
+				inputs[i] = rankedScan(r)
+				scores[i] = expr.Col(r.Name, "score")
+				keys[i] = expr.Col(r.Name, "key")
+			}
+			j, err := NewMultiHRJN(inputs, scores, keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return j, pathScore(3)
+		}},
+		{"AnyK", func(seed int64) (Operator, func(relation.Tuple) float64) {
+			rels := propRels(3, 180, 0.06, seed)
+			inputs := make([]Operator, len(rels))
+			scores := make([]expr.Expr, len(rels))
+			lkeys := make([]expr.Expr, len(rels)-1)
+			rkeys := make([]expr.Expr, len(rels)-1)
+			for i, r := range rels {
+				inputs[i] = NewSeqScan(r)
+				scores[i] = expr.Col(r.Name, "score")
+				if i < len(rels)-1 {
+					lkeys[i] = expr.Col(r.Name, "key")
+				}
+				if i > 0 {
+					rkeys[i-1] = expr.Col(r.Name, "key")
+				}
+			}
+			j, err := NewAnyK(inputs, scores, lkeys, rkeys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return j, pathScore(3)
+		}},
+		{"TASelect", func(seed int64) (Operator, func(relation.Tuple) float64) {
+			cat, names := workload.Corpus(workload.CorpusConfig{Objects: 400, Features: 3, Seed: seed})
+			weights := []float64{0.5, 0.3, 0.2}
+			inputs := make([]TAInput, len(names))
+			for i, name := range names {
+				tab, _ := cat.Table(name)
+				inputs[i] = TAInput{
+					Rel:      tab.Rel,
+					ScoreIdx: cat.IndexOn(name, "score"),
+					IDIdx:    cat.IndexOn(name, "id"),
+					ScorePos: 1, IDPos: 0,
+					Weight: weights[i],
+				}
+			}
+			ta, err := NewTASelect(inputs, 25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			score := func(tup relation.Tuple) float64 {
+				total := 0.0
+				for i, w := range weights {
+					total += w * tup[i*2+1].AsFloat()
+				}
+				return total
+			}
+			return ta, score
+		}},
+		{"ShardMerge", func(seed int64) (Operator, func(relation.Tuple) float64) {
+			rng := rand.New(rand.NewSource(seed))
+			inputs := make([]ShardInput, 4)
+			for s := range inputs {
+				scores := make([]float64, 40)
+				for i := range scores {
+					scores[i] = rng.Float64() * 100
+				}
+				sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+				inputs[s] = ShardInput{Op: shardStream(s*100, scores...), Ceiling: scores[0]}
+			}
+			m, err := NewShardMerge(inputs, 30, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m, func(tup relation.Tuple) float64 { return tup[1].AsFloat() }
+		}},
+	}
+}
+
+// drainScores collects the operator's full emitted score sequence.
+func drainScores(t *testing.T, op Operator, score func(relation.Tuple) float64) []float64 {
+	t.Helper()
+	out, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(out))
+	for i, tup := range out {
+		scores[i] = score(tup)
+	}
+	return scores
+}
+
+// TestRankedOrderProperty: for every ranked operator and every seed, the
+// emitted score sequence passes Bounds.Observe (non-increasing, no NaN) and
+// is byte-identical across two independently constructed runs.
+func TestRankedOrderProperty(t *testing.T) {
+	seeds := []int64{3, 17, 101, 443, 977}
+	for _, c := range rankedOperatorCases(t) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, seed := range seeds {
+				op, score := c.build(seed)
+				scores := drainScores(t, op, score)
+				if len(scores) == 0 {
+					t.Fatalf("seed %d: operator emitted nothing — property vacuous", seed)
+				}
+				bounds := ranking.NewBounds(1)
+				for i, s := range scores {
+					if err := bounds.Observe(0, s); err != nil {
+						var ov *ranking.OrderViolationError
+						if !errors.As(err, &ov) {
+							t.Fatalf("seed %d: Observe returned untyped error %v", seed, err)
+						}
+						t.Fatalf("seed %d rank %d: order violation: %v", seed, i, ov)
+					}
+				}
+				// Determinism: an independently built second run must emit
+				// the exact same sequence, ties included.
+				op2, score2 := c.build(seed)
+				again := drainScores(t, op2, score2)
+				if len(again) != len(scores) {
+					t.Fatalf("seed %d: run lengths differ: %d vs %d", seed, len(scores), len(again))
+				}
+				for i := range scores {
+					if scores[i] != again[i] {
+						t.Fatalf("seed %d rank %d: nondeterministic score %v vs %v", seed, i, scores[i], again[i])
+					}
+				}
+			}
+		})
+	}
+}

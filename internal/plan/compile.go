@@ -254,6 +254,22 @@ func (c *compiler) build(n *Node) (exec.Operator, error) {
 		nr.Budget = c.budget
 		return nr, nil
 
+	case OpAnyK:
+		ins := make([]exec.Operator, len(n.Children))
+		for i, ch := range n.Children {
+			in, err := c.compile(ch)
+			if err != nil {
+				return nil, err
+			}
+			ins[i] = in
+		}
+		ak, err := exec.NewAnyK(ins, n.AnyKScores, n.AnyKLKeys, n.AnyKRKeys)
+		if err != nil {
+			return nil, err
+		}
+		ak.Budget = c.budget
+		return ak, nil
+
 	default:
 		return nil, fmt.Errorf("plan: cannot compile operator %v", n.Op)
 	}

@@ -124,6 +124,20 @@ func (n *Node) Cost(k float64) float64 {
 		accesses := m*d + m*d*(m-1)
 		return accesses*p.RandPage + m*d*p.CPUTuple
 
+	case OpAnyK:
+		// Any-k enumeration: every input is drained and bucketed up front
+		// (the build), then each of the k results costs one heap pop plus at
+		// most m successor pushes — a delay independent of the join's output
+		// cardinality. The per-bucket suffix sort is charged at the expected
+		// group size n·sel, not the full input.
+		m := float64(len(n.Children))
+		total := 0.0
+		for _, c := range n.Children {
+			g := math.Max(n.Sel*c.Card, 1)
+			total += c.Cost(c.Card) + p.AnyKBuild(c.Card, g)
+		}
+		return total + p.AnyKDelay(math.Max(k, 1), m)
+
 	default:
 		panic("plan: Cost on unknown operator")
 	}

@@ -120,6 +120,15 @@ func detail(n *Node) string {
 			items[i] = it.As
 		}
 		return "(" + strings.Join(items, ", ") + ")"
+	case OpAnyK:
+		var parts []string
+		for i := range n.AnyKLKeys {
+			parts = append(parts, n.AnyKLKeys[i].String()+" = "+n.AnyKRKeys[i].String())
+		}
+		if len(parts) == 0 {
+			return ""
+		}
+		return "(" + strings.Join(parts, " AND ") + ")"
 	case OpHashAgg, OpSortAgg:
 		var parts []string
 		for _, g := range n.GroupBy {

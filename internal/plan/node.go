@@ -42,6 +42,7 @@ const (
 	OpTopK
 	OpIndexRange
 	OpRankAgg
+	OpAnyK
 )
 
 var opNames = map[OpType]string{
@@ -63,6 +64,7 @@ var opNames = map[OpType]string{
 	OpTopK:       "TopKSort",
 	OpIndexRange: "IndexRangeScan",
 	OpRankAgg:    "RankAggregateTA",
+	OpAnyK:       "AnyK",
 }
 
 // String returns the operator's display name.
@@ -218,6 +220,13 @@ type Node struct {
 	// TAInputs parameterize an OpRankAgg plan (Fagin's TA over ranked
 	// lists sharing a unique object id).
 	TAInputs []exec.TAInput
+
+	// AnyKScores, AnyKLKeys, and AnyKRKeys parameterize an OpAnyK plan: the
+	// per-child score contribution (child order = path order) and the m-1
+	// adjacent equi-join key pairs (AnyKLKeys[i] over child i, AnyKRKeys[i]
+	// over child i+1).
+	AnyKScores           []expr.Expr
+	AnyKLKeys, AnyKRKeys []expr.Expr
 
 	// Card is the estimated full output cardinality.
 	Card float64
