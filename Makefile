@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt vet build test race bench throughput plancache oracle fuzz cancel trace batch shard planner anyk ci
+.PHONY: all fmt vet build test race bench bench-all throughput plancache oracle fuzz cancel trace batch shard planner anyk ci
 
 all: ci
 
@@ -22,6 +22,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Every registered benchmark mode back to back with default artifact paths;
+# emits each BENCH_*.json plus a BENCH_index.json manifest recording which
+# gates held. Exits nonzero when any gate fails (after running everything).
+bench-all: build
+	$(GO) run ./cmd/raqo-bench -bench-all
 
 # Concurrent-session throughput sweep; emits BENCH_throughput.json.
 throughput: build

@@ -19,10 +19,12 @@
 //	                           # (p50/p99 cancel-to-return), written to
 //	                           # BENCH_cancel.json; exits nonzero when any
 //	                           # session returns a mistyped error
-//	raqo-bench -trace          # tracing on/off throughput comparison, written
-//	                           # to BENCH_trace.json; exits nonzero when traced
-//	                           # sessions record nothing or slow down past
-//	                           # -maxslowdown
+//	raqo-bench -trace          # tracing on/off throughput comparison on the
+//	                           # single path and the sharded tier, written to
+//	                           # BENCH_trace.json; exits nonzero when traced
+//	                           # sessions record nothing, slow down past
+//	                           # -maxslowdown, or traced sharded sessions slow
+//	                           # down past -maxshardslowdown
 //	raqo-bench -batch          # batch vs per-tuple executor comparison with
 //	                           # tuple-level parity checking, written to
 //	                           # BENCH_batch.json; exits nonzero when the two
@@ -48,6 +50,11 @@
 //	                           # plan costs more than 1+-maxqualityloss of
 //	                           # the DP's, the answers diverge, or greedy
 //	                           # silently fell back to the DP
+//	raqo-bench -bench-all      # run every registered benchmark mode with its
+//	                           # default artifact path and write a
+//	                           # BENCH_index.json manifest recording each
+//	                           # bench's artifact and gate outcome; exits
+//	                           # nonzero when any bench fails
 //
 // The -concurrency mode runs a fixed batch of top-k sessions over one shared
 // catalog at each worker count (-workers, default 1,2,4,8), prints the
@@ -79,6 +86,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -91,26 +99,28 @@ import (
 
 func main() {
 	var (
-		concurrency = flag.Bool("concurrency", false, "run the concurrent-session throughput sweep")
-		plancache   = flag.Bool("plancache", false, "run the plan-cache cold/warm sweep")
-		analyze     = flag.Bool("analyze", false, "run the depth-model accuracy sweep")
-		cancelBench = flag.Bool("cancel", false, "run the cancellation-under-load latency benchmark")
-		traceBench  = flag.Bool("trace", false, "run the tracing on/off overhead comparison")
-		batchBench  = flag.Bool("batch", false, "run the batch vs per-tuple executor comparison")
-		shardBench  = flag.Bool("shard", false, "run the sharded scatter-gather scaling sweep")
-		planBench   = flag.Bool("planner", false, "run the DP vs greedy planner comparison")
-		anykBench   = flag.Bool("anyk", false, "run the any-k vs MultiHRJN operator sweep")
-		minSpeedup  = flag.Float64("minspeedup", 1.5, "fail when shard=4 qps is below this multiple of shard=1 (-shard)")
-		minPlanSpd  = flag.Float64("minplanspeedup", 10.0, "fail when greedy planning is below this speedup over the DP (-planner)")
-		minAnyKSpd  = flag.Float64("minanykspeedup", 1.5, "fail when no sweep point shows any-k beating MultiHRJN by this factor (-anyk)")
-		maxQuality  = flag.Float64("maxqualityloss", 0.2, "fail when a greedy plan costs more than 1+this times the DP plan (-planner)")
-		maxErr      = flag.Float64("maxerr", 3.0, "fail when the sweep's mean relative depth error exceeds this (-analyze)")
-		maxSlowdown = flag.Float64("maxslowdown", 50.0, "fail when traced sessions are this many times slower than untraced (-trace)")
-		out         = flag.String("out", "", "artifact path (defaults per mode)")
-		rows        = flag.Int("rows", 0, "override rows per table (sweep modes)")
-		queries     = flag.Int("queries", 0, "override sessions per point (sweep modes)")
-		workers     = flag.String("workers", "", "override comma-separated worker counts (sweeps) or one lane count (-cancel)")
-		optWorkers  = flag.Int("opt-workers", 0, "optimizer DP workers per session (-concurrency)")
+		concurrency  = flag.Bool("concurrency", false, "run the concurrent-session throughput sweep")
+		plancache    = flag.Bool("plancache", false, "run the plan-cache cold/warm sweep")
+		analyze      = flag.Bool("analyze", false, "run the depth-model accuracy sweep")
+		cancelBench  = flag.Bool("cancel", false, "run the cancellation-under-load latency benchmark")
+		traceBench   = flag.Bool("trace", false, "run the tracing on/off overhead comparison")
+		batchBench   = flag.Bool("batch", false, "run the batch vs per-tuple executor comparison")
+		shardBench   = flag.Bool("shard", false, "run the sharded scatter-gather scaling sweep")
+		planBench    = flag.Bool("planner", false, "run the DP vs greedy planner comparison")
+		anykBench    = flag.Bool("anyk", false, "run the any-k vs MultiHRJN operator sweep")
+		minSpeedup   = flag.Float64("minspeedup", 1.5, "fail when shard=4 qps is below this multiple of shard=1 (-shard)")
+		minPlanSpd   = flag.Float64("minplanspeedup", 10.0, "fail when greedy planning is below this speedup over the DP (-planner)")
+		minAnyKSpd   = flag.Float64("minanykspeedup", 1.5, "fail when no sweep point shows any-k beating MultiHRJN by this factor (-anyk)")
+		maxQuality   = flag.Float64("maxqualityloss", 0.2, "fail when a greedy plan costs more than 1+this times the DP plan (-planner)")
+		maxErr       = flag.Float64("maxerr", 3.0, "fail when the sweep's mean relative depth error exceeds this (-analyze)")
+		maxSlowdown  = flag.Float64("maxslowdown", 50.0, "fail when traced sessions are this many times slower than untraced (-trace)")
+		maxShardSlow = flag.Float64("maxshardslowdown", 1.5, "fail when traced sharded sessions are this many times slower than untraced (-trace)")
+		benchAll     = flag.Bool("bench-all", false, "run every benchmark mode and write a BENCH_index.json manifest")
+		out          = flag.String("out", "", "artifact path (defaults per mode)")
+		rows         = flag.Int("rows", 0, "override rows per table (sweep modes)")
+		queries      = flag.Int("queries", 0, "override sessions per point (sweep modes)")
+		workers      = flag.String("workers", "", "override comma-separated worker counts (sweeps) or one lane count (-cancel)")
+		optWorkers   = flag.Int("opt-workers", 0, "optimizer DP workers per session (-concurrency)")
 	)
 	flag.Parse()
 
@@ -152,7 +162,7 @@ func main() {
 		if path == "" {
 			path = "BENCH_trace.json"
 		}
-		if err := runTrace(path, *rows, *queries, *maxSlowdown); err != nil {
+		if err := runTrace(path, *rows, *queries, *maxSlowdown, *maxShardSlow); err != nil {
 			fmt.Fprintln(os.Stderr, "raqo-bench:", err)
 			os.Exit(1)
 		}
@@ -208,6 +218,14 @@ func main() {
 			path = "BENCH_cancel.json"
 		}
 		if err := runCancel(path, *rows, *queries, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "raqo-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchAll {
+		if err := runBenchAll(*maxErr, *maxSlowdown, *maxShardSlow, *minSpeedup, *minPlanSpd, *maxQuality, *minAnyKSpd); err != nil {
 			fmt.Fprintln(os.Stderr, "raqo-bench:", err)
 			os.Exit(1)
 		}
@@ -304,7 +322,7 @@ func runAnalyze(out string, rows int, maxErr float64) error {
 	return rep.CheckBound(maxErr)
 }
 
-func runTrace(out string, rows, queries int, maxSlowdown float64) error {
+func runTrace(out string, rows, queries int, maxSlowdown, maxShardSlowdown float64) error {
 	cfg := bench.DefaultTraceOverheadConfig()
 	if rows > 0 {
 		cfg.Rows = rows
@@ -317,6 +335,9 @@ func runTrace(out string, rows, queries int, maxSlowdown float64) error {
 		return err
 	}
 	fmt.Println(rep.Table())
+	if sht := rep.ShardedTable(); sht != nil {
+		fmt.Println(sht)
+	}
 	data, err := rep.JSON()
 	if err != nil {
 		return err
@@ -325,7 +346,10 @@ func runTrace(out string, rows, queries int, maxSlowdown float64) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", out)
-	return rep.CheckOverhead(maxSlowdown)
+	if err := rep.CheckOverhead(maxSlowdown); err != nil {
+		return err
+	}
+	return rep.CheckShardedOverhead(maxShardSlowdown)
 }
 
 func runBatch(out string, rows int) error {
@@ -488,4 +512,63 @@ func runPlanCache(out string, rows, queries int, workers string) error {
 	}
 	fmt.Printf("wrote %s\n", out)
 	return nil
+}
+
+// benchIndexEntry is one row of the BENCH_index.json manifest.
+type benchIndexEntry struct {
+	Name     string `json:"name"`
+	Artifact string `json:"artifact"`
+	OK       bool   `json:"ok"`
+	Error    string `json:"error,omitempty"`
+}
+
+// runBenchAll runs every registered benchmark mode back to back with its
+// default artifact path, then writes BENCH_index.json recording what ran and
+// whether each gate held. All benches run even after a failure so one bad
+// gate still leaves a complete set of artifacts; the first failure is
+// returned at the end.
+func runBenchAll(maxErr, maxSlowdown, maxShardSlowdown, minSpeedup, minPlanSpd, maxQuality, minAnyKSpd float64) error {
+	benches := []struct {
+		name     string
+		artifact string
+		run      func(string) error
+	}{
+		{"concurrency", "BENCH_throughput.json", func(p string) error { return runConcurrency(p, 0, 0, "", 0) }},
+		{"plancache", "BENCH_plancache.json", func(p string) error { return runPlanCache(p, 0, 0, "") }},
+		{"analyze", "BENCH_analyze.json", func(p string) error { return runAnalyze(p, 0, maxErr) }},
+		{"trace", "BENCH_trace.json", func(p string) error { return runTrace(p, 0, 0, maxSlowdown, maxShardSlowdown) }},
+		{"batch", "BENCH_batch.json", func(p string) error { return runBatch(p, 0) }},
+		{"shard", "BENCH_shard.json", func(p string) error { return runShard(p, 0, 0, minSpeedup) }},
+		{"planner", "BENCH_planner.json", func(p string) error { return runPlanner(p, 0, minPlanSpd, maxQuality) }},
+		{"anyk", "BENCH_anyk.json", func(p string) error { return runAnyK(p, 0, minAnyKSpd) }},
+		{"cancel", "BENCH_cancel.json", func(p string) error { return runCancel(p, 0, 0, "") }},
+	}
+	manifest := struct {
+		GoMaxProcs int               `json:"gomaxprocs"`
+		CPUs       int               `json:"cpus"`
+		Benches    []benchIndexEntry `json:"benches"`
+	}{GoMaxProcs: runtime.GOMAXPROCS(0), CPUs: runtime.NumCPU()}
+	var firstFail error
+	for _, b := range benches {
+		fmt.Printf("=== bench %s -> %s ===\n", b.name, b.artifact)
+		entry := benchIndexEntry{Name: b.name, Artifact: b.artifact, OK: true}
+		if err := b.run(b.artifact); err != nil {
+			entry.OK = false
+			entry.Error = err.Error()
+			fmt.Fprintf(os.Stderr, "raqo-bench: %s: %v\n", b.name, err)
+			if firstFail == nil {
+				firstFail = fmt.Errorf("%s: %w", b.name, err)
+			}
+		}
+		manifest.Benches = append(manifest.Benches, entry)
+	}
+	data, err := json.MarshalIndent(manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_index.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_index.json")
+	return firstFail
 }

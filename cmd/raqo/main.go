@@ -45,6 +45,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -77,6 +78,7 @@ func main() {
 		traceJSON   = flag.String("trace-json", "", "write each traced session's Chrome trace-event JSON to this file")
 		slowQuery   = flag.Duration("slowquery", 0, "log sessions at or over this duration to stderr, e.g. 100ms (0 = off)")
 		plannerMode = flag.String("planner", "dp", "join-order planner: dp (System-R memo) or greedy (no-stats fast path with DP fallback)")
+		shards      = flag.Int("shards", 0, "serve from this many hash-partitioned shards (scatter-gather top-k tier; 0 = off)")
 		feedback    = flag.Float64("depth-feedback", 0, "re-optimize a query when its measured rank-join depths exceed the estimates by this ratio (0 = off, try 2)")
 	)
 	flag.Parse()
@@ -101,12 +103,35 @@ func main() {
 		Options:            core.Options{DisableRankAware: *baseline, Planner: planner},
 		DisablePlanCache:   *noCache,
 		DepthFeedbackRatio: *feedback,
+		Shards:             *shards,
+	}
+	if *shards > 0 {
+		// The sharded tier needs a partition spec per table: the ranked set
+		// co-partitions on the join key, the corpus on the object id.
+		col := "key"
+		if *corpus {
+			col = "id"
+		}
+		for _, name := range names {
+			spec := catalog.PartitionSpec{Column: col, Kind: catalog.PartitionHash}
+			if err := cat.SetPartition(name, spec); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(2)
+			}
+		}
 	}
 	if *slowQuery > 0 {
 		cfg.SlowQuery = *slowQuery
 		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	eng := engine.NewWithConfig(cat, cfg)
+	if *shards > 0 {
+		if err := eng.ShardError(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("sharded over %d shards\n", eng.ShardCount())
+	}
 	if *metricsAddr != "" {
 		go func() {
 			fmt.Printf("serving /metrics and /debug/engine on %s\n", *metricsAddr)
@@ -148,6 +173,8 @@ func main() {
 			printCacheStats(os.Stdout, eng)
 		case line == `\metrics`:
 			printMetrics(os.Stdout, eng)
+		case line == `\queries`:
+			printQueries(os.Stdout, eng)
 		case strings.HasPrefix(line, `\analyze `):
 			run(strings.TrimSpace(strings.TrimPrefix(line, `\analyze `)), true, false)
 		case strings.HasPrefix(line, `\trace `):
@@ -196,9 +223,88 @@ func printMetrics(w io.Writer, eng *engine.Engine) {
 		m.TracedQueries, m.SlowQueries, m.AnyKPlans)
 	fmt.Fprintf(w, "depth feedback: observations=%d accepted=%d replans=%d\n",
 		m.DepthObservations, m.DepthAccepted, m.DepthReplans)
+	if m.ShardedQueries > 0 || m.ShardFallbacks > 0 {
+		fmt.Fprintf(w, "sharded: queries=%d fallbacks=%d%s started=%d pruned=%d early-stopped=%d saved=%d\n",
+			m.ShardedQueries, m.ShardFallbacks, reasonSuffix(m.ShardFallbacksByReason),
+			m.ShardsStarted, m.ShardsPruned, m.ShardsEarlyStopped, m.ShardTuplesSaved)
+	}
+	if len(m.GreedyFallbacksByReason) > 0 {
+		var total uint64
+		for _, v := range m.GreedyFallbacksByReason {
+			total += v
+		}
+		fmt.Fprintf(w, "greedy fallbacks: total=%d%s\n", total, reasonSuffix(m.GreedyFallbacksByReason))
+	}
+	for _, op := range m.Operators {
+		if op.DepthCount == 0 && op.LatencyCount == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "op %s: depth n=%d p50=%.0f p99=%.0f | latency n=%d p50=%.3fms p99=%.3fms\n",
+			op.Op, op.DepthCount, op.DepthP50, op.DepthP99,
+			op.LatencyCount, op.LatencyP50Millis, op.LatencyP99Millis)
+	}
 	fmt.Fprintf(w, "runtime: goroutines=%d heap=%dKB objects=%d gc=%d pause-p99=%.0fµs\n",
 		m.Runtime.Goroutines, m.Runtime.HeapAllocBytes/1024, m.Runtime.HeapObjects,
 		m.Runtime.GCCycles, m.Runtime.GCPauseP99Micros)
+}
+
+// reasonSuffix renders a non-zero reason->count map as " (a=1 b=2)" with
+// stable (sorted) key order, or "" when everything is zero.
+func reasonSuffix(byReason map[string]uint64) string {
+	keys := make([]string, 0, len(byReason))
+	for k, v := range byReason {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, byReason[k])
+	}
+	return " (" + strings.Join(parts, " ") + ")"
+}
+
+// printQueries renders the live query registry (the REPL's `\queries`
+// command): running sessions with their rank-aware progress, then recently
+// finished ones.
+func printQueries(w io.Writer, eng *engine.Engine) {
+	qs := eng.Queries()
+	if len(qs) == 0 {
+		fmt.Fprintln(w, "no sessions")
+		return
+	}
+	for _, q := range qs {
+		line := fmt.Sprintf("#%d [%s] %.1fms", q.ID, q.State, q.ElapsedMillis)
+		if q.ClientID != "" {
+			line += " client=" + q.ClientID
+		}
+		if q.K > 0 {
+			line += fmt.Sprintf(" emitted=%d/%d", q.Emitted, q.K)
+		} else {
+			line += fmt.Sprintf(" emitted=%d", q.Emitted)
+		}
+		if q.KthScore != nil {
+			line += fmt.Sprintf(" kth=%.3f", *q.KthScore)
+		}
+		if q.MergeBound != nil {
+			line += fmt.Sprintf(" bound=%.3f", *q.MergeBound)
+		}
+		if q.Sharded {
+			line += fmt.Sprintf(" shards=%d/%d done (%d live)", q.ShardsDone, q.ShardsTotal, q.ShardsLive)
+		}
+		sql := q.SQL
+		if len(sql) > 60 {
+			sql = sql[:57] + "..."
+		}
+		if q.Error != "" {
+			line += " error=" + q.Error
+		}
+		fmt.Fprintf(w, "%s  %s\n", line, sql)
+	}
 }
 
 // parseLimits applies a `\set limits` argument string to the session state.
@@ -313,7 +419,9 @@ func runQuery(w io.Writer, eng *engine.Engine, sql string, o queryOpts) error {
 	}
 	fmt.Fprintf(w, "plans generated=%d kept=%d (plan cache %s)\n",
 		resp.PlansGenerated, resp.PlansKept, cacheNote)
-	if o.Analyze && resp.Analysis != nil {
+	if o.Analyze && resp.ShardAnalysis != nil {
+		fmt.Fprint(w, plan.FormatShardedAnalyze(resp.Plan, resp.ShardAnalysis, true))
+	} else if o.Analyze && resp.Analysis != nil {
 		fmt.Fprint(w, plan.FormatAnalyze(resp.Plan, resp.Analysis, true))
 	} else {
 		fmt.Fprint(w, plan.Explain(resp.Plan))

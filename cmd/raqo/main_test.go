@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"rankopt/internal/catalog"
 	"rankopt/internal/core"
 	"rankopt/internal/engine"
 	"rankopt/internal/workload"
@@ -173,5 +174,59 @@ func TestPrintMetrics(t *testing.T) {
 	}
 	if !strings.Contains(out, "plan cache:") || !strings.Contains(out, "latency:") {
 		t.Errorf(`\metrics output missing sections: %q`, out)
+	}
+}
+
+// TestPrintQueries renders the registry after one finished session; the row
+// must carry the terminal state and the truncated SQL.
+func TestPrintQueries(t *testing.T) {
+	eng := testREPLEngine(t, 2, 500, 0.05, 35)
+	var b strings.Builder
+	printQueries(&b, eng)
+	if got := b.String(); got != "no sessions\n" {
+		t.Fatalf("empty registry rendered %q", got)
+	}
+	sql := "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 4"
+	if err := runQuery(&b, eng, sql, queryOpts{MaxRows: 5}); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	printQueries(&b, eng)
+	out := b.String()
+	for _, want := range []string{"[done]", "emitted=4/4", "SELECT * FROM T1, T2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("\\queries output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunQueryShardedAnalyze drives the REPL path a -shards session takes:
+// EXPLAIN ANALYZE on a sharded engine must render the coordinator header and
+// per-shard table instead of the single-tree format.
+func TestRunQueryShardedAnalyze(t *testing.T) {
+	cat, names := workload.RankedSet(2, workload.RankedConfig{N: 800, Selectivity: 0.02, Seed: 36})
+	for _, name := range names {
+		spec := catalog.PartitionSpec{Column: "key", Kind: catalog.PartitionHash}
+		if err := cat.SetPartition(name, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := engine.NewWithConfig(cat, engine.Config{Shards: 2})
+	if err := eng.ShardError(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	sql := "SELECT * FROM T1, T2 WHERE T1.key = T2.key ORDER BY T1.score + T2.score DESC LIMIT 5"
+	if err := runQuery(&b, eng, sql, queryOpts{MaxRows: 5, Analyze: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"sharded over 2 shards", "ShardMerge", "shard 0:", "ceiling est="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sharded analyze output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "(5 rows)") {
+		t.Errorf("result rows missing:\n%s", out)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"rankopt/internal/catalog"
 	"rankopt/internal/engine"
 	"rankopt/internal/trace"
 	"rankopt/internal/workload"
@@ -29,6 +30,20 @@ type TraceOverheadConfig struct {
 	// Repeats is how many times each side is measured; the best repeat is
 	// reported (minimum-noise estimator, same as testing.B).
 	Repeats int `json:"repeats"`
+
+	// ShardCount..ShardQueries shape the sharded side of the comparison: the
+	// same off/on measurement over a range-partitioned skewed catalog (the
+	// BENCH_shard workload) served from ShardCount shards. The workload is
+	// sized execution-dominated on purpose — a traced session re-optimizes
+	// fresh, and the gate bounds the overhead of tracing the *sharded
+	// execution*, not of re-planning a trivial query. ShardCount 0 skips the
+	// sharded block.
+	ShardCount   int   `json:"shard_count"`
+	ShardRows    int   `json:"shard_rows"`
+	ShardKeys    int   `json:"shard_keys"`
+	ShardK       int   `json:"shard_k"`
+	ShardQueries int   `json:"shard_queries"`
+	ShardSeed    int64 `json:"shard_seed"`
 }
 
 // DefaultTraceOverheadConfig is the acceptance-run workload: enough sessions
@@ -43,6 +58,13 @@ func DefaultTraceOverheadConfig() TraceOverheadConfig {
 		Queries:     128,
 		K:           10,
 		Repeats:     3,
+
+		ShardCount:   4,
+		ShardRows:    20000,
+		ShardKeys:    200,
+		ShardK:       10,
+		ShardQueries: 24,
+		ShardSeed:    29,
 	}
 }
 
@@ -77,6 +99,29 @@ type TraceOverheadReport struct {
 	// events in one probe session's trace.
 	SpansPerQuery     float64 `json:"spans_per_query"`
 	DecisionsPerQuery int     `json:"decisions_probe"`
+
+	// Sharded is the scatter-gather side of the artifact (absent when
+	// Config.ShardCount is 0): the same off/on comparison with every session
+	// served by the shard coordinator, traced sessions carrying one Chrome
+	// lane per shard worker.
+	Sharded *ShardedTraceOverhead `json:"sharded,omitempty"`
+}
+
+// ShardedTraceOverhead measures tracing overhead on the sharded serving
+// tier: traced-off vs traced-on throughput at a fixed shard count.
+type ShardedTraceOverhead struct {
+	ShardCount int `json:"shard_count"`
+
+	OffMillis float64 `json:"off_elapsed_ms"`
+	OffQPS    float64 `json:"off_queries_per_sec"`
+	OnMillis  float64 `json:"on_elapsed_ms"`
+	OnQPS     float64 `json:"on_queries_per_sec"`
+	// Slowdown is off QPS over on QPS — the CI gate's number.
+	Slowdown float64 `json:"slowdown"`
+	// SpansPerQuery proves traced sharded sessions record the fan-out: the
+	// pipeline stages plus one shard span (and nested operator spans) per
+	// shard worker.
+	SpansPerQuery float64 `json:"spans_per_query"`
 }
 
 // TraceOverhead runs the benchmark: one catalog, one request batch, a primed
@@ -149,7 +194,105 @@ func TraceOverhead(cfg TraceOverheadConfig) (*TraceOverheadReport, error) {
 	if resp.OptTrace != nil {
 		report.DecisionsPerQuery = len(resp.OptTrace.Decisions()) + resp.OptTrace.TotalCandidates()
 	}
+	if cfg.ShardCount > 0 {
+		sh, err := shardedTraceOverhead(cfg)
+		if err != nil {
+			return nil, err
+		}
+		report.Sharded = sh
+	}
 	return report, nil
+}
+
+// shardedTraceOverhead measures the sharded block: the skewed
+// range-partitioned 2-table workload (see bench.Shard) served from
+// cfg.ShardCount shards, one repeated top-k session, best-of-Repeats off and
+// on. Every session must actually take the scatter-gather path.
+func shardedTraceOverhead(cfg TraceOverheadConfig) (*ShardedTraceOverhead, error) {
+	cat := catalog.New()
+	for i, name := range []string{"T1", "T2"} {
+		rel := workload.Ranked(workload.RankedConfig{
+			Name: name, N: cfg.ShardRows, Selectivity: 1 / float64(cfg.ShardKeys),
+			Seed: cfg.ShardSeed + int64(i)*7919, ScoreByKey: 1,
+		})
+		cat.AddTable(rel)
+		if _, err := cat.CreateIndex(name, "key", false); err != nil {
+			return nil, err
+		}
+		spec := catalog.PartitionSpec{
+			Column: "key", Kind: catalog.PartitionRange, Lo: 0, Hi: float64(cfg.ShardKeys),
+		}
+		if err := cat.SetPartition(name, spec); err != nil {
+			return nil, err
+		}
+	}
+	eng := engine.NewWithConfig(cat, engine.Config{Shards: cfg.ShardCount})
+	if err := eng.ShardError(); err != nil {
+		return nil, err
+	}
+	sql := fmt.Sprintf("SELECT * FROM T1, T2 WHERE T1.key = T2.key "+
+		"ORDER BY T1.score + T2.score DESC LIMIT %d", cfg.ShardK)
+	reqs := make([]engine.Request, cfg.ShardQueries)
+	for i := range reqs {
+		reqs[i] = engine.Request{ID: fmt.Sprintf("sh%d", i), SQL: sql}
+	}
+	// Warm-up doubles as the sharded-path assertion: a session that silently
+	// fell back would make the comparison meaningless.
+	probe := eng.Run(reqs[0])
+	if probe.Err != nil {
+		return nil, fmt.Errorf("bench: sharded trace warm-up: %w", probe.Err)
+	}
+	if !probe.Sharded {
+		return nil, fmt.Errorf("bench: sharded trace workload fell back to the single path")
+	}
+
+	sh := &ShardedTraceOverhead{ShardCount: cfg.ShardCount}
+	for r := 0; r < cfg.Repeats; r++ {
+		ms, qps, _, err := measureBatch(eng, reqs, 1)
+		if err != nil {
+			return nil, fmt.Errorf("bench: sharded trace off repeat %d: %w", r, err)
+		}
+		if qps > sh.OffQPS {
+			sh.OffMillis, sh.OffQPS = ms, qps
+		}
+	}
+	// A traced probe proves traced sessions stay on the sharded path too (the
+	// legacy analyze/trace fallback would quietly invalidate the comparison).
+	tprobe := reqs[0]
+	tprobe.Trace = trace.New(tprobe.SQL)
+	if resp := eng.Run(tprobe); resp.Err != nil {
+		return nil, fmt.Errorf("bench: sharded trace probe: %w", resp.Err)
+	} else if !resp.Sharded {
+		return nil, fmt.Errorf("bench: traced sharded session fell back to the single path")
+	}
+	var spans int
+	for r := 0; r < cfg.Repeats; r++ {
+		treqs := make([]engine.Request, len(reqs))
+		traces := make([]*trace.Trace, len(reqs))
+		for i, req := range reqs {
+			traces[i] = trace.New(req.SQL)
+			req.Trace = traces[i]
+			treqs[i] = req
+		}
+		ms, qps, _, err := measureBatch(eng, treqs, 1)
+		if err != nil {
+			return nil, fmt.Errorf("bench: sharded trace on repeat %d: %w", r, err)
+		}
+		if qps > sh.OnQPS {
+			sh.OnMillis, sh.OnQPS = ms, qps
+			spans = 0
+			for _, tr := range traces {
+				spans += tr.Len()
+			}
+		}
+	}
+	if len(reqs) > 0 {
+		sh.SpansPerQuery = float64(spans) / float64(len(reqs))
+	}
+	if sh.OnQPS > 0 {
+		sh.Slowdown = sh.OffQPS / sh.OnQPS
+	}
+	return sh, nil
 }
 
 // CheckOverhead gates the artifact: both sides must have run, traced
@@ -171,6 +314,31 @@ func (r *TraceOverheadReport) CheckOverhead(maxSlowdown float64) error {
 	return nil
 }
 
+// CheckShardedOverhead gates the sharded block: the sharded sessions must
+// have run (both sides), traced sharded sessions must record the per-shard
+// lanes, and the traced slowdown must stay under the bound. The bound is far
+// tighter than CheckOverhead's because the sharded workload is
+// execution-dominated — tracing a gather must cost lane bookkeeping, not a
+// re-run.
+func (r *TraceOverheadReport) CheckShardedOverhead(maxSlowdown float64) error {
+	if r.Sharded == nil {
+		return fmt.Errorf("bench: no sharded trace block in the artifact")
+	}
+	sh := r.Sharded
+	if sh.OffQPS <= 0 || sh.OnQPS <= 0 {
+		return fmt.Errorf("bench: sharded trace overhead measured non-positive qps (off=%.1f on=%.1f)", sh.OffQPS, sh.OnQPS)
+	}
+	// At minimum: the pipeline stages plus one span per shard worker.
+	if sh.SpansPerQuery < float64(sh.ShardCount) {
+		return fmt.Errorf("bench: traced sharded sessions recorded %.1f spans/query, want at least one per shard (%d)",
+			sh.SpansPerQuery, sh.ShardCount)
+	}
+	if sh.Slowdown > maxSlowdown {
+		return fmt.Errorf("bench: traced sharded sessions %.2fx slower than untraced, bound is %.2fx", sh.Slowdown, maxSlowdown)
+	}
+	return nil
+}
+
 // JSON renders the artifact bytes.
 func (r *TraceOverheadReport) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
@@ -185,5 +353,21 @@ func (r *TraceOverheadReport) Table() *Table {
 		Columns: []string{"off_qps", "on_qps", "slowdown", "off_allocs/q", "on_allocs/q", "spans/q"},
 	}
 	t.AddRow(r.OffQPS, r.OnQPS, r.Slowdown, r.OffAllocs, r.OnAllocs, r.SpansPerQuery)
+	return t
+}
+
+// ShardedTable renders the sharded block (nil when it was skipped).
+func (r *TraceOverheadReport) ShardedTable() *Table {
+	if r.Sharded == nil {
+		return nil
+	}
+	sh := r.Sharded
+	t := &Table{
+		Title: "Tracing overhead on the sharded tier: off vs on",
+		Note: fmt.Sprintf("skewed range-partitioned 2-table workload, %d rows/table, %d shards, %d sessions, k=%d, best of %d",
+			r.Config.ShardRows, sh.ShardCount, r.Config.ShardQueries, r.Config.ShardK, r.Config.Repeats),
+		Columns: []string{"off_qps", "on_qps", "slowdown", "spans/q"},
+	}
+	t.AddRow(sh.OffQPS, sh.OnQPS, sh.Slowdown, sh.SpansPerQuery)
 	return t
 }

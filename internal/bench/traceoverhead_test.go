@@ -11,6 +11,8 @@ func TestTraceOverheadSmoke(t *testing.T) {
 	cfg := TraceOverheadConfig{
 		Tables: 2, Rows: 500, Selectivity: 0.05, Seed: 3,
 		Queries: 6, K: 5, Repeats: 1,
+		ShardCount: 2, ShardRows: 800, ShardKeys: 40, ShardK: 5,
+		ShardQueries: 4, ShardSeed: 29,
 	}
 	rep, err := TraceOverhead(cfg)
 	if err != nil {
@@ -46,5 +48,30 @@ func TestTraceOverheadSmoke(t *testing.T) {
 	}
 	if rep.Table().String() == "" {
 		t.Error("empty table rendering")
+	}
+
+	// The sharded block: both sides measured on the scatter-gather path, the
+	// traced side carrying at least one span per shard, and the gate wired.
+	if rep.Sharded == nil {
+		t.Fatal("no sharded block despite ShardCount=2")
+	}
+	if rep.Sharded.OffQPS <= 0 || rep.Sharded.OnQPS <= 0 {
+		t.Errorf("non-positive sharded QPS (off=%v on=%v)", rep.Sharded.OffQPS, rep.Sharded.OnQPS)
+	}
+	if rep.Sharded.SpansPerQuery < float64(cfg.ShardCount) {
+		t.Errorf("traced sharded sessions recorded %.1f spans/query, want >= %d",
+			rep.Sharded.SpansPerQuery, cfg.ShardCount)
+	}
+	if err := rep.CheckShardedOverhead(1e9); err != nil {
+		t.Errorf("generous sharded bound failed: %v", err)
+	}
+	if err := rep.CheckShardedOverhead(0); err == nil {
+		t.Error("zero sharded bound passed — gate not wired")
+	}
+	if rep.ShardedTable().String() == "" {
+		t.Error("empty sharded table rendering")
+	}
+	if back.Sharded == nil || back.Sharded.Slowdown != rep.Sharded.Slowdown {
+		t.Error("sharded block lost in the JSON round trip")
 	}
 }

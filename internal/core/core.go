@@ -149,8 +149,10 @@ type Result struct {
 	// that fell back report PlannerDP here).
 	Planner PlannerMode
 	// GreedyFallback is set when PlannerGreedy was requested but the query
-	// shape forced the DP path.
-	GreedyFallback bool
+	// shape forced the DP path; GreedyFallbackReason then names why (one of
+	// the GreedyFallback* constants).
+	GreedyFallback       bool
+	GreedyFallbackReason string
 }
 
 // InterestingOrder is one row of the paper's Table 1.
@@ -224,15 +226,17 @@ func Optimize(cat *catalog.Catalog, q *logical.Query, opts Options) (*Result, er
 
 	planner := PlannerDP
 	fallback := false
+	fallbackReason := ""
 	var best, bestJoin *plan.Node
 	var all []*plan.Node
 	var err error
 	if opts.Planner == PlannerGreedy {
-		if g := o.greedyPlan(); g != nil {
+		if g, reason := o.greedyPlan(); g != nil {
 			planner = PlannerGreedy
 			best, bestJoin, all, err = o.finish([]*plan.Node{g})
 		} else {
 			fallback = true
+			fallbackReason = reason
 		}
 	}
 	if planner == PlannerDP {
@@ -245,16 +249,17 @@ func Optimize(cat *catalog.Catalog, q *logical.Query, opts Options) (*Result, er
 		return nil, err
 	}
 	res := &Result{
-		Best:              best,
-		BestJoin:          bestJoin,
-		AllPlans:          all,
-		Memo:              map[string][]*plan.Node{},
-		PlansGenerated:    o.pc.gen,
-		PlansPruned:       o.pc.pruned + o.pc.evicted,
-		PlansProtected:    o.pc.protected,
-		InterestingOrders: o.interestingOrders(),
-		Planner:           planner,
-		GreedyFallback:    fallback,
+		Best:                 best,
+		BestJoin:             bestJoin,
+		AllPlans:             all,
+		Memo:                 map[string][]*plan.Node{},
+		PlansGenerated:       o.pc.gen,
+		PlansPruned:          o.pc.pruned + o.pc.evicted,
+		PlansProtected:       o.pc.protected,
+		InterestingOrders:    o.interestingOrders(),
+		Planner:              planner,
+		GreedyFallback:       fallback,
+		GreedyFallbackReason: fallbackReason,
 	}
 	for mask, plans := range o.memo {
 		res.Memo[o.label(mask)] = plans

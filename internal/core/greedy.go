@@ -7,6 +7,19 @@ import (
 	"rankopt/internal/plan"
 )
 
+// Greedy fallback reasons: why a PlannerGreedy request ran the DP instead.
+// Reported in Result.GreedyFallbackReason and counted per reason by the
+// engine's raqo_greedy_fallbacks_total metric.
+const (
+	GreedyFallbackSingleTable = "single_table"
+	GreedyFallbackGrouped     = "grouped"
+	GreedyFallbackTraced      = "traced"
+	GreedyFallbackKeepAll     = "keep_all"
+	// GreedyFallbackNoPlan: the left-deep walk could not complete a
+	// connected plan (e.g. a Cartesian-only step remained).
+	GreedyFallbackNoPlan = "no_plan"
+)
+
 // greedyPlan is the planner's fast path: one left-deep join plan built in
 // microseconds from signals visible without enumerating the memo — filtered
 // cardinalities (predicate constants), join-graph connectivity, and
@@ -18,10 +31,20 @@ import (
 // uses. Returns nil for shapes it cannot order confidently — grouped queries
 // (the aggregation placement needs the full plan set), traced sessions
 // (EXPLAIN TRACE documents the DP's decisions), plan-space collection modes,
-// and single-table queries — letting the caller fall back to the DP.
-func (o *optimizer) greedyPlan() *plan.Node {
-	if len(o.tables) < 2 || o.q.Grouped() || o.opts.Tracer != nil || o.opts.KeepAllPlans {
-		return nil
+// and single-table queries — letting the caller fall back to the DP. The
+// second return names why the fallback happened (one of the GreedyFallback*
+// constants, "" when a plan was produced), so the engine can count fallback
+// causes instead of one opaque bool.
+func (o *optimizer) greedyPlan() (*plan.Node, string) {
+	switch {
+	case len(o.tables) < 2:
+		return nil, GreedyFallbackSingleTable
+	case o.q.Grouped():
+		return nil, GreedyFallbackGrouped
+	case o.opts.Tracer != nil:
+		return nil, GreedyFallbackTraced
+	case o.opts.KeepAllPlans:
+		return nil, GreedyFallbackKeepAll
 	}
 
 	// Join-graph degree: how many distinct other tables each table joins to.
@@ -86,7 +109,10 @@ func (o *optimizer) greedyPlan() *plan.Node {
 			best, bestCost = ak, c
 		}
 	}
-	return best
+	if best == nil {
+		return nil, GreedyFallbackNoPlan
+	}
+	return best, ""
 }
 
 // greedyFrom completes the left-deep walk from one access path of the start

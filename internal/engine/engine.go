@@ -75,6 +75,11 @@ type Engine struct {
 	// estimated depth ratio beyond which an execution's depths are recorded.
 	feedback *feedbackStore
 	fbRatio  float64
+	// reg is the live query registry (see registry.go): every session gets
+	// an ID, a queued→planning→executing→merging→done/aborted state machine,
+	// rank-aware progress, and cancel-by-id. Always on; the per-session cost
+	// is one small allocation plus a handful of atomic stores.
+	reg queryRegistry
 }
 
 // Config controls engine construction beyond the per-session optimizer
@@ -263,9 +268,14 @@ type Response struct {
 	Analysis *plan.AnalyzedPlan
 	// Sharded reports that the session ran on the scatter-gather tier;
 	// ShardStats then carries the coordinator's counters (shards started,
-	// pruned, early-stopped, tuples pulled and saved).
+	// pruned, early-stopped, tuples pulled and saved) including the
+	// per-shard ceiling/bound/cause rows.
 	Sharded    bool
 	ShardStats *exec.ShardMergeStats
+	// ShardAnalysis is the sharded session's EXPLAIN ANALYZE: the merge
+	// stats plus every shard's analyzed pipeline. Set for Analyze and traced
+	// sessions that ran sharded; render with plan.FormatShardedAnalyze.
+	ShardAnalysis *plan.ShardedAnalysis
 	// OptTrace is the optimizer decision trace of a traced session (see
 	// Request.Trace); render with OptTrace.Format().
 	OptTrace *core.DecisionTrace
@@ -348,6 +358,7 @@ func (e *Engine) planFor(sql string) (planInfo, error) {
 	if err != nil {
 		return planInfo{}, fmt.Errorf("engine: optimize: %w", err)
 	}
+	e.met.observeGreedy(res)
 	counters := countersOf(res)
 	e.met.observeOptimize(counters)
 	tmpl := plan.NewTemplate(res.Best, q.K, counters)
@@ -391,6 +402,7 @@ func (e *Engine) optimizeFresh(sql string) (planInfo, error) {
 	if err != nil {
 		return planInfo{}, fmt.Errorf("engine: optimize: %w", err)
 	}
+	e.met.observeGreedy(res)
 	counters := countersOf(res)
 	e.met.observeOptimize(counters)
 	tmpl := plan.NewTemplate(res.Best, q.K, counters)
@@ -439,6 +451,7 @@ func (e *Engine) planForTraced(tr *trace.Trace, sql string) (planInfo, *core.Dec
 		tr.End(os)
 		return planInfo{}, nil, fmt.Errorf("engine: optimize: %w", err)
 	}
+	e.met.observeGreedy(res)
 	tr.AnnotateInt(os, "plans_generated", int64(res.PlansGenerated))
 	tr.AnnotateInt(os, "plans_kept", int64(res.PlansKept))
 	tr.AnnotateInt(os, "plans_pruned", int64(res.PlansPruned))
@@ -483,14 +496,21 @@ func (e *Engine) RunCtx(ctx context.Context, req Request) Response {
 		ctx, cancel = context.WithDeadline(ctx, limits.Deadline)
 		defer cancel()
 	}
+	// Every admitted request gets a registry entry and a cancellable derived
+	// context, so /debug/queries can watch it live and cancel-by-id can abort
+	// it with exec.ErrQueryCancelled.
+	ctx, abort := context.WithCancel(ctx)
+	defer abort()
+	en := e.reg.register(req.ID, req.SQL, abort)
 	start := time.Now()
 	var resp Response
 	if err := e.admit(ctx); err != nil {
 		resp = Response{ID: req.ID, SQL: req.SQL, Err: err, Elapsed: time.Since(start)}
 	} else {
-		resp = e.run(ctx, req, limits)
+		resp = e.run(ctx, req, limits, en)
 		e.adm.release()
 	}
+	e.reg.finish(en, resp.Err)
 	e.met.observe(&resp, req.Analyze)
 	if req.Trace != nil {
 		e.met.traced.Add(1)
@@ -509,13 +529,15 @@ func (e *Engine) admit(ctx context.Context) error {
 	return e.adm.acquire(ctx)
 }
 
-// run is the session pipeline behind RunCtx.
-func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimits) Response {
+// run is the session pipeline behind RunCtx; en is the session's live
+// registry entry (state transitions and progress land there).
+func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimits, en *queryEntry) Response {
 	start := time.Now()
 	resp := Response{ID: req.ID, SQL: req.SQL}
 	tr := req.Trace // nil for untraced sessions: every span call no-ops
 	session := tr.Begin("session", "pipeline")
 	defer tr.End(session)
+	en.setState(QueryPlanning)
 	fail := func(err error) Response {
 		resp.Err = err
 		resp.Elapsed = time.Since(start)
@@ -535,6 +557,7 @@ func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimit
 		return fail(err)
 	}
 	resp.Plan = pi.root
+	en.k.Store(int64(pi.k))
 	resp.CacheHit = pi.hit
 	resp.Fingerprint = pi.fp
 	resp.PlansGenerated = pi.counters.Generated
@@ -550,24 +573,31 @@ func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimit
 		e.met.anykPlans.Add(1)
 	}
 	// Sharded tier: qualifying plans run one pipeline per shard under the
-	// early-stop coordinator. Analyze and traced sessions stay on the single
-	// path (their per-operator instrumentation assumes one tree); plans the
-	// partitioning cannot cover fall back and are counted.
-	if len(e.shards) > 0 && !req.Analyze && tr == nil {
+	// early-stop coordinator — including Analyze and traced sessions, whose
+	// per-shard stats collectors and trace lanes ride the fan-out (the
+	// optimizer *decision* trace above stays single-worker for determinism;
+	// only execution is parallel). Plans the partitioning cannot cover fall
+	// back and are counted by reason.
+	if len(e.shards) > 0 {
 		if k, ok := e.shardable(root); ok {
-			if err := e.runSharded(ctx, &resp, root, k, exec.NewBudget(limits)); err != nil {
+			en.setState(QueryExecuting)
+			en.sharded.Store(true)
+			if err := e.runSharded(ctx, &resp, root, k, exec.NewBudget(limits), req.Analyze, tr, &en.prog); err != nil {
 				return fail(err)
 			}
 			resp.Elapsed = time.Since(start)
 			return resp
 		}
-		e.met.shardFallbacks.Add(1)
+		e.met.observeShardFallback(shardFallbackNonShardable)
 	}
 	type tracedJoin struct {
 		node *plan.Node
 		op   exec.StatsReporter
 	}
-	var joins []tracedJoin
+	// joins are the plan's rank joins (depth report + feedback); anyks are
+	// its any-k enumerators (histogram observation only — their drained-input
+	// "depths" would poison the rank-join depth feedback).
+	var joins, anyks []tracedJoin
 	var op exec.Operator
 	budget := exec.NewBudget(limits)
 	cs := tr.Begin("compile", "pipeline")
@@ -579,16 +609,28 @@ func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimit
 		op, resp.Analysis, err = plan.CompileAnalyzedLimited(e.cat, root, budget)
 		if err == nil {
 			root.Walk(func(n *plan.Node) {
-				if a := resp.Analysis.Collector(n); a != nil && n.Op.IsRankJoin() {
+				a := resp.Analysis.Collector(n)
+				if a == nil {
+					return
+				}
+				if n.Op.IsRankJoin() {
 					joins = append(joins, tracedJoin{n, a})
+				} else if n.Op == plan.OpAnyK {
+					anyks = append(anyks, tracedJoin{n, a})
 				}
 			})
 		}
 	} else {
 		op, err = plan.CompileWith(e.cat, root, plan.Config{
 			Trace: func(n *plan.Node, o exec.Operator) {
-				if sr, ok := o.(exec.StatsReporter); ok && n.Op.IsRankJoin() {
+				sr, ok := o.(exec.StatsReporter)
+				if !ok {
+					return
+				}
+				if n.Op.IsRankJoin() {
 					joins = append(joins, tracedJoin{n, sr})
+				} else if n.Op == plan.OpAnyK {
+					anyks = append(anyks, tracedJoin{n, sr})
 				}
 			},
 			Budget: budget,
@@ -601,13 +643,15 @@ func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimit
 	if err != nil {
 		return fail(fmt.Errorf("engine: compile: %w", err))
 	}
+	en.setState(QueryExecuting)
+	root_ := exec.WithProgress(op, &en.prog)
 	es := tr.Begin("execute", "pipeline")
 	execStart := time.Now()
 	var tuples []relation.Tuple
 	if e.perTuple {
-		tuples, err = exec.CollectPerTupleCtx(ctx, op)
+		tuples, err = exec.CollectPerTupleCtx(ctx, root_)
 	} else {
-		tuples, err = exec.CollectCtx(ctx, op)
+		tuples, err = exec.CollectCtx(ctx, root_)
 	}
 	tr.AnnotateInt(es, "tuples", int64(len(tuples)))
 	tr.End(es)
@@ -628,13 +672,25 @@ func (e *Engine) run(ctx context.Context, req Request, limits exec.ResourceLimit
 	// estimated depths were annotated on the session's plan clone during
 	// instantiation (plan.AnnotateDepthHints).
 	for _, tj := range joins {
+		st := tj.op.Stats()
 		resp.RankJoins = append(resp.RankJoins, RankJoinStat{
 			Op:    tj.node.Op.String(),
 			Pred:  rankJoinPredLabel(tj.node),
-			Stats: tj.op.Stats(),
+			Stats: st,
 			EstDL: tj.node.EstDL,
 			EstDR: tj.node.EstDR,
 		})
+		idx := histOpIndex(tj.node.Op)
+		e.met.observeOpDepth(idx, int64(st.LeftDepth))
+		e.met.observeOpDepth(idx, int64(st.RightDepth))
+	}
+	for _, tj := range anyks {
+		st := tj.op.Stats()
+		e.met.observeOpDepth(histOpAnyK, int64(st.LeftDepth))
+		e.met.observeOpDepth(histOpAnyK, int64(st.RightDepth))
+	}
+	if resp.Analysis != nil {
+		e.observeAnalyzedOps(root, resp.Analysis)
 	}
 	if e.feedback != nil && len(joins) > 0 && resp.Fingerprint != "" {
 		demands := rankJoinDemands(root, float64(pi.k))
@@ -732,6 +788,28 @@ func addOperatorSpans(tr *trace.Trace, parent int, root *plan.Node, ap *plan.Ana
 		}
 	}
 	walk(root, 0)
+}
+
+// observeAnalyzedOps folds an analyzed session's per-operator measurements
+// into the engine-wide histograms: wall time (Open plus the extrapolated
+// Next time) for every tracked operator type, plus the TopK sort's heap
+// high-water as its depth sample. Rank-join and any-k depths are observed
+// from the stats hook instead, which also covers untimed sessions.
+func (e *Engine) observeAnalyzedOps(root *plan.Node, ap *plan.AnalyzedPlan) {
+	root.Walk(func(n *plan.Node) {
+		idx := histOpIndex(n.Op)
+		if idx < 0 {
+			return
+		}
+		st, ok := ap.Stats(n)
+		if !ok {
+			return
+		}
+		e.met.observeOpLatency(idx, st.OpenNanos+st.EstNextNanos())
+		if idx == histOpTopK {
+			e.met.observeOpDepth(histOpTopK, st.MaxHeap)
+		}
+	})
 }
 
 // RunAll fans the requests across the given number of concurrent session

@@ -14,9 +14,11 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"rankopt/internal/core"
 	"rankopt/internal/exec"
 	"rankopt/internal/plan"
 )
@@ -43,6 +45,129 @@ var latencyBucketBounds = [...]time.Duration{
 }
 
 const numLatencyBuckets = len(latencyBucketBounds) + 1
+
+// Per-operator-type histograms: one depth and one latency histogram per
+// rank-aware operator kind, so HRJN vs AnyK vs ShardMerge behavior is
+// visible in aggregate on /metrics, not only per query in EXPLAIN ANALYZE.
+const (
+	histOpHRJN = iota
+	histOpNRJN
+	histOpAnyK
+	histOpTopK
+	histOpShardMerge
+	numHistOps
+)
+
+// histOpNames spell the `op` label values on /metrics.
+var histOpNames = [numHistOps]string{"HRJN", "NRJN", "AnyK", "TopKSort", "ShardMerge"}
+
+// histOpIndex maps a plan operator to its histogram slot (-1: not tracked).
+func histOpIndex(op plan.OpType) int {
+	switch op {
+	case plan.OpHRJN:
+		return histOpHRJN
+	case plan.OpNRJN:
+		return histOpNRJN
+	case plan.OpAnyK:
+		return histOpAnyK
+	case plan.OpTopK:
+		return histOpTopK
+	}
+	return -1
+}
+
+// opDepthBounds are the depth histogram's inclusive upper bounds (tuples
+// consumed per input for rank joins and any-k, heap high-water for TopK,
+// tuples pulled for the shard coordinator). Powers of four: depths span
+// k≈1 lookups to full-input drains.
+var opDepthBounds = [...]int64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
+
+// opLatencyBoundsNanos reuse the session latency ladder for per-operator
+// wall time.
+var opLatencyBoundsNanos = func() []int64 {
+	out := make([]int64, len(latencyBucketBounds))
+	for i, d := range latencyBucketBounds {
+		out[i] = d.Nanoseconds()
+	}
+	return out
+}()
+
+// opHist is one lock-free fixed-bucket histogram. The bucket array is sized
+// for the larger (latency) bound ladder; the depth family uses a prefix.
+type opHist struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [numLatencyBuckets]atomic.Uint64
+}
+
+func (h *opHist) observe(bounds []int64, v int64) {
+	h.count.Add(1)
+	if v > 0 {
+		h.sum.Add(uint64(v))
+	}
+	for i, b := range bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(bounds)].Add(1)
+}
+
+// quantile returns the upper bound of the first bucket reaching q·count
+// (the overflow bucket saturates at the largest finite bound).
+func (h *opHist) quantile(bounds []int64, q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	need := uint64(q * float64(total))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for i, b := range bounds {
+		cum += h.buckets[i].Load()
+		if cum >= need {
+			return float64(b)
+		}
+	}
+	return float64(bounds[len(bounds)-1])
+}
+
+// Shard fallback reasons: why a session on a sharded engine ran the single
+// path anyway. After the shard-aware analyze work, analyze/traced sessions
+// run sharded too, so those two labels stay structurally zero — kept so
+// dashboards watching the old aggregate see where the fallbacks went.
+const (
+	shardFallbackNonShardable = iota
+	shardFallbackAnalyze
+	shardFallbackTraced
+	numShardFallbackReasons
+)
+
+var shardFallbackReasonNames = [numShardFallbackReasons]string{"non_shardable", "analyze", "traced"}
+
+// greedyReasonNames spell the `reason` label of raqo_greedy_fallbacks_total;
+// the order must match greedyReasonIndex.
+var greedyReasonNames = [...]string{
+	core.GreedyFallbackSingleTable,
+	core.GreedyFallbackGrouped,
+	core.GreedyFallbackTraced,
+	core.GreedyFallbackKeepAll,
+	core.GreedyFallbackNoPlan,
+}
+
+const numGreedyReasons = len(greedyReasonNames)
+
+func greedyReasonIndex(reason string) int {
+	for i, r := range greedyReasonNames {
+		if r == reason {
+			return i
+		}
+	}
+	return -1
+}
 
 // metrics is the engine's live counter block. All fields are atomics:
 // observation happens once per session (never per tuple) from arbitrarily
@@ -74,11 +199,22 @@ type metrics struct {
 	// outcomes (started / pruned before starting / cancelled mid-stream by
 	// the bound test) with the shard output the bounds avoided pulling.
 	shardedQueries     atomic.Uint64
-	shardFallbacks     atomic.Uint64
+	shardFallbacks     [numShardFallbackReasons]atomic.Uint64
 	shardsStarted      atomic.Uint64
 	shardsPruned       atomic.Uint64
 	shardsEarlyStopped atomic.Uint64
 	shardTuplesSaved   atomic.Uint64
+
+	// greedyFallbacks counts PlannerGreedy sessions that ran the DP anyway,
+	// by reason (see greedyReasonNames) — the labeled mirror of
+	// core.Result.GreedyFallback.
+	greedyFallbacks [numGreedyReasons]atomic.Uint64
+
+	// opDepth / opLatency are the per-operator-type histograms: depths dug
+	// (every session, via the rank-join stats hook) and operator wall time
+	// (analyzed/traced sessions, which are the only ones that measure it).
+	opDepth   [numHistOps]opHist
+	opLatency [numHistOps]opHist
 
 	// optRuns..optProtected aggregate the optimizer's enumeration and
 	// pruning work over fresh (non-cache-hit) optimizations, the engine-wide
@@ -116,13 +252,55 @@ func (m *metrics) observeOptimize(c plan.PlanCounters) {
 }
 
 // observeSharded folds one sharded session's coordinator stats into the
-// engine-wide shard counters.
-func (m *metrics) observeSharded(st *exec.ShardMergeStats) {
+// engine-wide shard counters, plus the coordinator's row in the per-operator
+// histograms (depth = tuples pulled across shards, latency = the gather's
+// wall time).
+func (m *metrics) observeSharded(st *exec.ShardMergeStats, execNanos int64) {
 	m.shardedQueries.Add(1)
 	m.shardsStarted.Add(uint64(st.Started))
 	m.shardsPruned.Add(uint64(st.Pruned))
 	m.shardsEarlyStopped.Add(uint64(st.EarlyStopped))
 	m.shardTuplesSaved.Add(uint64(st.TuplesSaved))
+	m.opDepth[histOpShardMerge].observe(opDepthBounds[:], int64(st.TuplesPulled))
+	m.opLatency[histOpShardMerge].observe(opLatencyBoundsNanos, execNanos)
+}
+
+// observeShardFallback counts one single-path session on a sharded engine.
+func (m *metrics) observeShardFallback(reason int) {
+	m.shardFallbacks[reason].Add(1)
+}
+
+// observeGreedy counts a greedy-planner fallback by reason.
+func (m *metrics) observeGreedy(res *core.Result) {
+	if !res.GreedyFallback {
+		return
+	}
+	if i := greedyReasonIndex(res.GreedyFallbackReason); i >= 0 {
+		m.greedyFallbacks[i].Add(1)
+	}
+}
+
+// observeOpDepth / observeOpLatency fold one operator measurement into the
+// per-type histograms; idx < 0 (untracked operator) is a no-op.
+func (m *metrics) observeOpDepth(idx int, v int64) {
+	if idx >= 0 {
+		m.opDepth[idx].observe(opDepthBounds[:], v)
+	}
+}
+
+func (m *metrics) observeOpLatency(idx int, nanos int64) {
+	if idx >= 0 {
+		m.opLatency[idx].observe(opLatencyBoundsNanos, nanos)
+	}
+}
+
+// shardFallbackTotal sums the reason-labeled fallback counters.
+func (m *metrics) shardFallbackTotal() uint64 {
+	var total uint64
+	for i := range m.shardFallbacks {
+		total += m.shardFallbacks[i].Load()
+	}
+	return total
 }
 
 // bucketFor maps a session latency to its histogram bucket.
@@ -191,13 +369,23 @@ type Metrics struct {
 	SlowQueries   uint64 `json:"slow_queries"`
 
 	// ShardedQueries..ShardTuplesSaved report the scatter-gather tier (all
-	// zero on an unsharded engine).
-	ShardedQueries     uint64 `json:"sharded_queries"`
-	ShardFallbacks     uint64 `json:"shard_fallbacks"`
-	ShardsStarted      uint64 `json:"shards_started"`
-	ShardsPruned       uint64 `json:"shards_pruned"`
-	ShardsEarlyStopped uint64 `json:"shards_early_stopped"`
-	ShardTuplesSaved   uint64 `json:"shard_tuples_saved"`
+	// zero on an unsharded engine). ShardFallbacks is the total;
+	// ShardFallbacksByReason splits it (non_shardable / analyze / traced).
+	ShardedQueries         uint64            `json:"sharded_queries"`
+	ShardFallbacks         uint64            `json:"shard_fallbacks"`
+	ShardFallbacksByReason map[string]uint64 `json:"shard_fallbacks_by_reason"`
+	ShardsStarted          uint64            `json:"shards_started"`
+	ShardsPruned           uint64            `json:"shards_pruned"`
+	ShardsEarlyStopped     uint64            `json:"shards_early_stopped"`
+	ShardTuplesSaved       uint64            `json:"shard_tuples_saved"`
+
+	// GreedyFallbacksByReason counts PlannerGreedy sessions that fell back
+	// to the DP, by cause (empty map when the greedy planner is unused).
+	GreedyFallbacksByReason map[string]uint64 `json:"greedy_fallbacks_by_reason"`
+
+	// Operators are the per-operator-type depth/latency histograms in
+	// summary form (full buckets are on /metrics).
+	Operators []OperatorMetrics `json:"operators"`
 
 	// OptimizerRuns..PlansProtected aggregate fresh (non-cached) optimizer
 	// runs: candidates enumerated, discarded by the Section 3.3 pruning, and
@@ -228,6 +416,22 @@ type Metrics struct {
 	LatencyBuckets   []LatencyBucket `json:"latency_buckets"`
 
 	Runtime RuntimeStats `json:"runtime"`
+}
+
+// OperatorMetrics summarizes one operator type's histograms: how deep it
+// dug (depth samples: per-input tuples consumed for rank joins and any-k,
+// heap high-water for TopK, tuples pulled for ShardMerge) and how long it
+// ran (from analyzed/traced sessions, the only ones that time operators).
+type OperatorMetrics struct {
+	Op               string  `json:"op"`
+	DepthCount       uint64  `json:"depth_count"`
+	DepthSum         uint64  `json:"depth_sum"`
+	DepthP50         float64 `json:"depth_p50"`
+	DepthP99         float64 `json:"depth_p99"`
+	LatencyCount     uint64  `json:"latency_count"`
+	LatencySumNanos  uint64  `json:"latency_sum_ns"`
+	LatencyP50Millis float64 `json:"latency_p50_ms"`
+	LatencyP99Millis float64 `json:"latency_p99_ms"`
 }
 
 // RuntimeStats is the Go runtime's health snapshot riding along with the
@@ -290,7 +494,7 @@ func (e *Engine) Snapshot() Metrics {
 		TracedQueries:      e.met.traced.Load(),
 		SlowQueries:        e.met.slowQueries.Load(),
 		ShardedQueries:     e.met.shardedQueries.Load(),
-		ShardFallbacks:     e.met.shardFallbacks.Load(),
+		ShardFallbacks:     e.met.shardFallbackTotal(),
 		ShardsStarted:      e.met.shardsStarted.Load(),
 		ShardsPruned:       e.met.shardsPruned.Load(),
 		ShardsEarlyStopped: e.met.shardsEarlyStopped.Load(),
@@ -304,6 +508,30 @@ func (e *Engine) Snapshot() Metrics {
 		DepthAccepted:      e.met.depthAccepted.Load(),
 		DepthReplans:       e.met.depthReplans.Load(),
 		Runtime:            readRuntimeStats(),
+	}
+	m.ShardFallbacksByReason = map[string]uint64{}
+	for i, name := range shardFallbackReasonNames {
+		m.ShardFallbacksByReason[name] = e.met.shardFallbacks[i].Load()
+	}
+	m.GreedyFallbacksByReason = map[string]uint64{}
+	for i, name := range greedyReasonNames {
+		if v := e.met.greedyFallbacks[i].Load(); v > 0 {
+			m.GreedyFallbacksByReason[name] = v
+		}
+	}
+	for i, name := range histOpNames {
+		d, l := &e.met.opDepth[i], &e.met.opLatency[i]
+		m.Operators = append(m.Operators, OperatorMetrics{
+			Op:               name,
+			DepthCount:       d.count.Load(),
+			DepthSum:         d.sum.Load(),
+			DepthP50:         d.quantile(opDepthBounds[:], 0.50),
+			DepthP99:         d.quantile(opDepthBounds[:], 0.99),
+			LatencyCount:     l.count.Load(),
+			LatencySumNanos:  l.sum.Load(),
+			LatencyP50Millis: l.quantile(opLatencyBoundsNanos, 0.50) / 1e6,
+			LatencyP99Millis: l.quantile(opLatencyBoundsNanos, 0.99) / 1e6,
+		})
 	}
 	cs := e.CacheStats()
 	m.CacheHits, m.CacheMisses = cs.Hits, cs.Misses
@@ -359,18 +587,25 @@ func quantileBound(m *metrics, total uint64, q float64) float64 {
 
 // DebugMux returns an http.Handler (stdlib ServeMux) exposing the engine:
 //
-//	/metrics       Prometheus-style text counters + latency histogram
-//	/debug/engine  the full Metrics snapshot as JSON
-//	/debug/pprof/  the Go runtime profiles (CPU, heap, goroutine, block,
-//	               mutex, execution trace) via net/http/pprof — registered
-//	               explicitly so they ride this private mux rather than
-//	               http.DefaultServeMux
+//	/metrics        Prometheus-style text counters + latency histograms
+//	/debug/engine   the full Metrics snapshot as JSON
+//	/debug/queries  the live query registry as JSON: every running session's
+//	                state, rank-aware progress (emitted/k, k-th score vs
+//	                merge bound), and shard liveness, plus recently finished
+//	                sessions. POST /debug/queries/{id}/cancel aborts a live
+//	                session by registry ID.
+//	/debug/pprof/   the Go runtime profiles (CPU, heap, goroutine, block,
+//	                mutex, execution trace) via net/http/pprof — registered
+//	                explicitly so they ride this private mux rather than
+//	                http.DefaultServeMux
 //
 // Mount it on any server, e.g. http.ListenAndServe(addr, eng.DebugMux()).
 func (e *Engine) DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", e.serveMetricsText)
 	mux.HandleFunc("/debug/engine", e.serveDebugJSON)
+	mux.HandleFunc("GET /debug/queries", e.serveQueries)
+	mux.HandleFunc("POST /debug/queries/{id}/cancel", e.serveQueryCancel)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -399,7 +634,14 @@ func (e *Engine) serveMetricsText(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# TYPE raqo_traced_queries_total counter\nraqo_traced_queries_total %d\n", m.TracedQueries)
 	fmt.Fprintf(w, "# TYPE raqo_slow_queries_total counter\nraqo_slow_queries_total %d\n", m.SlowQueries)
 	fmt.Fprintf(w, "# TYPE raqo_sharded_queries_total counter\nraqo_sharded_queries_total %d\n", m.ShardedQueries)
-	fmt.Fprintf(w, "# TYPE raqo_shard_fallbacks_total counter\nraqo_shard_fallbacks_total %d\n", m.ShardFallbacks)
+	fmt.Fprintf(w, "# TYPE raqo_shard_fallbacks_total counter\n")
+	for _, name := range shardFallbackReasonNames {
+		fmt.Fprintf(w, "raqo_shard_fallbacks_total{reason=%q} %d\n", name, m.ShardFallbacksByReason[name])
+	}
+	fmt.Fprintf(w, "# TYPE raqo_greedy_fallbacks_total counter\n")
+	for i, name := range greedyReasonNames {
+		fmt.Fprintf(w, "raqo_greedy_fallbacks_total{reason=%q} %d\n", name, e.met.greedyFallbacks[i].Load())
+	}
 	fmt.Fprintf(w, "# TYPE raqo_shards_started_total counter\nraqo_shards_started_total %d\n", m.ShardsStarted)
 	fmt.Fprintf(w, "# TYPE raqo_shards_pruned_total counter\nraqo_shards_pruned_total %d\n", m.ShardsPruned)
 	fmt.Fprintf(w, "# TYPE raqo_shards_early_stopped_total counter\nraqo_shards_early_stopped_total %d\n", m.ShardsEarlyStopped)
@@ -426,6 +668,32 @@ func (e *Engine) serveMetricsText(w http.ResponseWriter, _ *http.Request) {
 	}
 	fmt.Fprintf(w, "raqo_query_latency_seconds_sum %g\n", float64(e.met.latencySumNanos.Load())/1e9)
 	fmt.Fprintf(w, "raqo_query_latency_seconds_count %d\n", m.Queries)
+	fmt.Fprintf(w, "# TYPE raqo_operator_depth histogram\n")
+	for i, name := range histOpNames {
+		h := &e.met.opDepth[i]
+		var cum uint64
+		for bi, bound := range opDepthBounds {
+			cum += h.buckets[bi].Load()
+			fmt.Fprintf(w, "raqo_operator_depth_bucket{op=%q,le=\"%d\"} %d\n", name, bound, cum)
+		}
+		cum += h.buckets[len(opDepthBounds)].Load()
+		fmt.Fprintf(w, "raqo_operator_depth_bucket{op=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "raqo_operator_depth_sum{op=%q} %d\n", name, h.sum.Load())
+		fmt.Fprintf(w, "raqo_operator_depth_count{op=%q} %d\n", name, h.count.Load())
+	}
+	fmt.Fprintf(w, "# TYPE raqo_operator_latency_seconds histogram\n")
+	for i, name := range histOpNames {
+		h := &e.met.opLatency[i]
+		var cum uint64
+		for bi, bound := range opLatencyBoundsNanos {
+			cum += h.buckets[bi].Load()
+			fmt.Fprintf(w, "raqo_operator_latency_seconds_bucket{op=%q,le=\"%g\"} %d\n", name, float64(bound)/1e9, cum)
+		}
+		cum += h.buckets[len(opLatencyBoundsNanos)].Load()
+		fmt.Fprintf(w, "raqo_operator_latency_seconds_bucket{op=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "raqo_operator_latency_seconds_sum{op=%q} %g\n", name, float64(h.sum.Load())/1e9)
+		fmt.Fprintf(w, "raqo_operator_latency_seconds_count{op=%q} %d\n", name, h.count.Load())
+	}
 }
 
 // serveDebugJSON writes the JSON snapshot.
@@ -434,4 +702,33 @@ func (e *Engine) serveDebugJSON(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(e.Snapshot())
+}
+
+// serveQueries writes the live query registry as JSON.
+func (e *Engine) serveQueries(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	qs := e.Queries()
+	if qs == nil {
+		qs = []QueryInfo{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Queries []QueryInfo `json:"queries"`
+	}{qs})
+}
+
+// serveQueryCancel aborts a live session by registry ID.
+func (e *Engine) serveQueryCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad query id", http.StatusBadRequest)
+		return
+	}
+	cancelled := e.CancelQuery(id)
+	w.Header().Set("Content-Type", "application/json")
+	if !cancelled {
+		w.WriteHeader(http.StatusNotFound)
+	}
+	fmt.Fprintf(w, "{\"id\": %d, \"cancelled\": %t}\n", id, cancelled)
 }

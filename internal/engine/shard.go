@@ -15,11 +15,14 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
+	"time"
 
 	"rankopt/internal/catalog"
 	"rankopt/internal/exec"
 	"rankopt/internal/expr"
 	"rankopt/internal/plan"
+	"rankopt/internal/trace"
 )
 
 // ShardCount reports how many shards the engine serves from (0 = unsharded).
@@ -159,32 +162,97 @@ func shardCeiling(sc *catalog.Catalog, score expr.ScoreSum) float64 {
 
 // runSharded executes the session on the sharded tier: one plan clone
 // rebound and compiled per shard (all charging the session's shared budget),
-// gathered by a ShardMerge whose start width is Config.ShardWidth. It fills
-// the response's tuples, columns, and shard statistics.
-func (e *Engine) runSharded(ctx context.Context, resp *Response, root *plan.Node, k int, budget *exec.Budget) error {
+// gathered by a ShardMerge whose start width is Config.ShardWidth. Analyze
+// sessions compile every shard pipeline under stats collectors and fill the
+// response's ShardAnalysis; traced sessions additionally get one Chrome lane
+// per shard worker synthesized from the coordinator's per-shard records. It
+// fills the response's tuples, columns, and shard statistics.
+func (e *Engine) runSharded(ctx context.Context, resp *Response, root *plan.Node, k int, budget *exec.Budget, analyze bool, tr *trace.Trace, prog *exec.Progress) error {
 	score := root.Input().Score
+	collect := analyze || tr != nil
+	type shardJoin struct {
+		shard int
+		node  *plan.Node
+		op    exec.StatsReporter
+	}
+	// joins feed the depth histograms and (analyzed) the per-shard depth
+	// report; anyks only feed histograms — their drained-input depths must
+	// stay out of the rank-join feedback path.
+	var joins, anyks []shardJoin
+	var runs []plan.ShardRun
 	inputs := make([]exec.ShardInput, len(e.shards))
+	cs := tr.Begin("compile", "pipeline")
 	for i, sc := range e.shards {
 		clone := root.Clone()
 		if err := plan.Rebind(clone, sc); err != nil {
+			tr.End(cs)
 			return fmt.Errorf("engine: shard %d: %w", i, err)
 		}
-		op, err := plan.CompileWith(sc, clone, plan.Config{Budget: budget, ScalarRef: e.perTuple})
+		var op exec.Operator
+		var err error
+		shard := i
+		if collect {
+			var ap *plan.AnalyzedPlan
+			op, ap, err = plan.CompileAnalyzedLimited(sc, clone, budget)
+			if err == nil {
+				runs = append(runs, plan.ShardRun{Shard: shard, Root: clone, Analysis: ap})
+				clone.Walk(func(n *plan.Node) {
+					a := ap.Collector(n)
+					if a == nil {
+						return
+					}
+					if n.Op.IsRankJoin() {
+						joins = append(joins, shardJoin{shard, n, a})
+					} else if n.Op == plan.OpAnyK {
+						anyks = append(anyks, shardJoin{shard, n, a})
+					}
+				})
+			}
+		} else {
+			op, err = plan.CompileWith(sc, clone, plan.Config{
+				Trace: func(n *plan.Node, o exec.Operator) {
+					sr, ok := o.(exec.StatsReporter)
+					if !ok {
+						return
+					}
+					if n.Op.IsRankJoin() {
+						joins = append(joins, shardJoin{shard, n, sr})
+					} else if n.Op == plan.OpAnyK {
+						anyks = append(anyks, shardJoin{shard, n, sr})
+					}
+				},
+				Budget:    budget,
+				ScalarRef: e.perTuple,
+			})
+		}
 		if err != nil {
+			tr.End(cs)
 			return fmt.Errorf("engine: shard %d compile: %w", i, err)
 		}
 		inputs[i] = exec.ShardInput{Op: op, Ceiling: shardCeiling(sc, score)}
 	}
+	tr.End(cs)
 	merge, err := exec.NewShardMerge(inputs, k, budget)
 	if err != nil {
 		return err
 	}
 	merge.StartWidth = e.shardWidth
+	merge.Progress = prog
+	es := tr.Begin("execute", "pipeline")
+	execStart := time.Now()
 	tuples, err := exec.CollectPerTupleCtx(ctx, merge)
+	execNanos := time.Since(execStart).Nanoseconds()
 	if err != nil {
+		tr.End(es)
 		return fmt.Errorf("engine: execute: %w", err)
 	}
+	// The shard workers were joined before the gather returned, so reading
+	// the per-shard operators and coordinator stats here races with nothing.
 	st := merge.Stats()
+	if tr != nil {
+		addShardSpans(tr, es, &st, runs, execStart)
+	}
+	tr.End(es)
 	resp.Tuples = tuples
 	resp.Sharded = true
 	resp.ShardStats = &st
@@ -193,6 +261,80 @@ func (e *Engine) runSharded(ctx context.Context, resp *Response, root *plan.Node
 	for i := 0; i < sch.Len(); i++ {
 		resp.Columns[i] = sch.Column(i).QualifiedName()
 	}
-	e.met.observeSharded(&st)
+	if collect {
+		resp.ShardAnalysis = &plan.ShardedAnalysis{Stats: st, Shards: runs}
+	}
+	for _, sj := range joins {
+		jst := sj.op.Stats()
+		idx := histOpIndex(sj.node.Op)
+		e.met.observeOpDepth(idx, int64(jst.LeftDepth))
+		e.met.observeOpDepth(idx, int64(jst.RightDepth))
+		if collect {
+			resp.RankJoins = append(resp.RankJoins, RankJoinStat{
+				Op:    fmt.Sprintf("%s[shard %d]", sj.node.Op.String(), sj.shard),
+				Pred:  rankJoinPredLabel(sj.node),
+				Stats: jst,
+				EstDL: sj.node.EstDL,
+				EstDR: sj.node.EstDR,
+			})
+		}
+	}
+	for _, sj := range anyks {
+		ast := sj.op.Stats()
+		e.met.observeOpDepth(histOpAnyK, int64(ast.LeftDepth))
+		e.met.observeOpDepth(histOpAnyK, int64(ast.RightDepth))
+	}
+	for _, r := range runs {
+		e.observeAnalyzedOps(r.Root, r.Analysis)
+	}
+	e.met.observeSharded(&st, execNanos)
 	return nil
+}
+
+// addShardSpans synthesizes the sharded execute trace: one Chrome lane per
+// shard worker carrying the shard's lifetime span (outcome cause, tuples
+// pulled, a-priori ceiling vs live bound at decision time), with the shard
+// pipeline's per-operator spans laid end-to-end inside it when the session
+// collected stats. Pruned shards never ran and render as zero-length markers
+// at the execute start.
+func addShardSpans(tr *trace.Trace, parent int, st *exec.ShardMergeStats, runs []plan.ShardRun, execStart time.Time) {
+	byShard := map[int]plan.ShardRun{}
+	for _, r := range runs {
+		byShard[r.Shard] = r
+	}
+	for i := range st.PerShard {
+		out := &st.PerShard[i]
+		tid := trace.OperatorTID + out.Shard
+		start, end := out.StartAt, out.EndAt
+		if start.IsZero() {
+			start, end = execStart, execStart
+		} else if end.Before(start) {
+			end = start
+		}
+		cause := out.Cause
+		if cause == "" {
+			cause = "aborted"
+		}
+		sid := tr.AddSpan(parent, fmt.Sprintf("shard %d", out.Shard), "shard", tid, start, end.Sub(start),
+			trace.Arg{Key: "cause", Val: cause},
+			trace.Arg{Key: "pulled", Val: strconv.Itoa(out.Pulled)},
+			trace.Arg{Key: "ceiling_est", Val: fmt.Sprintf("%.3f", out.Ceiling)},
+			trace.Arg{Key: "bound_act", Val: fmt.Sprintf("%.3f", out.Bound)},
+		)
+		r, ok := byShard[out.Shard]
+		if !ok || r.Analysis == nil || out.Cause == exec.ShardCausePruned {
+			continue
+		}
+		at := start
+		r.Root.Walk(func(n *plan.Node) {
+			ost, ok := r.Analysis.Stats(n)
+			if !ok {
+				return
+			}
+			dur := time.Duration(ost.OpenNanos + ost.EstNextNanos())
+			tr.AddSpan(sid, n.Op.String(), "operator", tid, at, dur,
+				trace.Arg{Key: "tuples_out", Val: strconv.FormatInt(ost.TuplesOut, 10)})
+			at = at.Add(dur)
+		})
+	}
 }

@@ -2,10 +2,12 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"rankopt/internal/catalog"
 	"rankopt/internal/core"
+	"rankopt/internal/plan"
 	"rankopt/internal/workload"
 )
 
@@ -75,8 +77,9 @@ func TestShardedMatchesUnsharded(t *testing.T) {
 }
 
 // TestShardedFallbacks: sessions the coordinator cannot serve — explicit
-// SELECT lists, EXPLAIN ANALYZE — must fall back to the single path, still
-// answer correctly, and count in the fallback metric.
+// SELECT lists — must fall back to the single path, still answer correctly,
+// and count under the non_shardable reason; EXPLAIN ANALYZE of a shardable
+// query must now ride the sharded tier with per-shard analysis attached.
 func TestShardedFallbacks(t *testing.T) {
 	cat := partitionedCatalog(t)
 	eng := NewWithConfig(cat, Config{Shards: 2})
@@ -98,11 +101,27 @@ func TestShardedFallbacks(t *testing.T) {
 	if resp.Err != nil {
 		t.Fatal(resp.Err)
 	}
-	if resp.Sharded || resp.Analysis == nil {
-		t.Fatal("EXPLAIN ANALYZE must run the instrumented single path")
+	if !resp.Sharded {
+		t.Fatal("EXPLAIN ANALYZE of a shardable query must execute sharded")
 	}
-	if m := eng.Snapshot(); m.ShardFallbacks == 0 {
+	if resp.ShardAnalysis == nil || len(resp.ShardAnalysis.Shards) == 0 {
+		t.Fatal("sharded EXPLAIN ANALYZE must attach per-shard analysis")
+	}
+	if resp.ShardStats == nil || len(resp.ShardStats.PerShard) != 2 {
+		t.Fatalf("per-shard outcome rows missing: %+v", resp.ShardStats)
+	}
+	m := eng.Snapshot()
+	if m.ShardFallbacks == 0 {
 		t.Fatalf("fallback metric not incremented: %+v", m)
+	}
+	if m.ShardFallbacksByReason["non_shardable"] != m.ShardFallbacks {
+		t.Fatalf("fallbacks must all be non_shardable: %+v", m.ShardFallbacksByReason)
+	}
+	out := plan.FormatShardedAnalyze(resp.Plan, resp.ShardAnalysis, false)
+	for _, want := range []string{"sharded over 2 shards", "shard 0:", "shard 1:", "ceiling est="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatShardedAnalyze missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"rankopt/internal/ranking"
 	"rankopt/internal/relation"
@@ -207,6 +208,44 @@ func (s *ShardScatter) Wait() {
 	}
 }
 
+// Shard outcome causes, one per way a shard's stream can end.
+const (
+	// ShardCausePruned: never started — its a-priori ceiling could not beat
+	// the k-th score by the time its launch turn came.
+	ShardCausePruned = "pruned"
+	// ShardCauseEarlyStopped: cancelled mid-stream once its live bound (last
+	// emitted score) fell to or below the k-th score.
+	ShardCauseEarlyStopped = "early_stopped"
+	// ShardCauseExhausted: ran to completion.
+	ShardCauseExhausted = "exhausted"
+	// ShardCauseError: its pipeline failed; the error aborted the query.
+	ShardCauseError = "error"
+)
+
+// ShardOutcome is one shard's row of the coordinator's post-mortem: what the
+// statistics promised before the shard ran (the a-priori ceiling), what the
+// bounds had proved by the moment the coordinator stopped caring (the live
+// bound at prune/stop/exhaust time), how much was actually pulled, and why
+// the stream ended. EXPLAIN ANALYZE renders these as the shard table under
+// the merge node; ceiling-vs-bound is the shard-level analogue of the
+// rank-join est-vs-actual depths.
+type ShardOutcome struct {
+	Shard   int     `json:"shard"`
+	Ceiling float64 `json:"ceiling"`
+	// Bound is the shard's upper bound at decision time: the ceiling for a
+	// pruned shard, the last-emitted score for a stopped or exhausted one.
+	Bound float64 `json:"bound"`
+	// Pulled counts the tuples the coordinator consumed from this shard.
+	Pulled int `json:"tuples_pulled"`
+	// Cause is one of the ShardCause* constants ("" for a shard of a query
+	// that aborted before this shard's fate was decided).
+	Cause string `json:"cause"`
+	// StartAt / EndAt delimit the shard worker's run, for per-shard trace
+	// lanes; zero for pruned shards. Coordinator-local, not serialized.
+	StartAt time.Time `json:"-"`
+	EndAt   time.Time `json:"-"`
+}
+
 // ShardMergeStats reports what the coordinator did — the per-query analogue
 // of the rank-join depths: how many shards ran at all, how many were stopped
 // by the bounding argument, and how much shard output the bounds saved.
@@ -230,6 +269,8 @@ type ShardMergeStats struct {
 	// KthScore is the final k-th (lowest surviving) score, NaN when fewer
 	// than one result was produced.
 	KthScore float64 `json:"kth_score"`
+	// PerShard holds one outcome row per shard, indexed by shard number.
+	PerShard []ShardOutcome `json:"per_shard,omitempty"`
 }
 
 // mergeEntry is one buffered candidate in the coordinator's top-k heap.
@@ -279,9 +320,13 @@ type ShardMerge struct {
 	k      int
 	// StartWidth caps concurrently running shards; 0 means GOMAXPROCS.
 	StartWidth int
-	schema     *relation.Schema
-	scoreCol   int
-	rankCol    int
+	// Progress, when non-nil, receives the gather's live rank-aware progress
+	// (buffered count, k-th score vs best live bound, shard liveness) with a
+	// few atomic stores per tuple; nil costs one nil compare.
+	Progress *Progress
+	schema   *relation.Schema
+	scoreCol int
+	rankCol  int
 
 	acct  accountant
 	out   []relation.Tuple
@@ -346,7 +391,12 @@ func (m *ShardMerge) Stats() ShardMergeStats { return m.stats }
 func (m *ShardMerge) OpenCtx(ctx context.Context) error {
 	m.acct.releaseAll()
 	m.out, m.pos = nil, 0
-	m.stats = ShardMergeStats{Shards: len(m.inputs), KthScore: math.NaN()}
+	m.stats = ShardMergeStats{Shards: len(m.inputs), KthScore: math.NaN(),
+		PerShard: make([]ShardOutcome, len(m.inputs))}
+	for i := range m.stats.PerShard {
+		m.stats.PerShard[i] = ShardOutcome{Shard: i, Ceiling: m.inputs[i].Ceiling}
+	}
+	m.Progress.SetShards(len(m.inputs))
 	if err := m.gather(ctx); err != nil {
 		m.acct.releaseAll()
 		return err
@@ -406,15 +456,22 @@ func (m *ShardMerge) gather(ctx context.Context) error {
 			i := order[next]
 			next++
 			if beaten(i) {
+				// The bound a pruned shard lost to is its own ceiling; record
+				// it before Exhaust collapses Upper(i) to -Inf.
+				m.stats.PerShard[i].Bound = bounds.Upper(i)
+				m.stats.PerShard[i].Cause = ShardCausePruned
 				bounds.Exhaust(i)
 				m.stats.Pruned++
 				m.stats.TuplesSaved += m.k
+				m.Progress.ShardFinished(false)
 				continue
 			}
 			scatter.Start(ctx, i)
 			live[i] = true
 			running++
 			m.stats.Started++
+			m.stats.PerShard[i].StartAt = time.Now()
+			m.Progress.ShardStarted()
 		}
 	}
 	// reap early-stops every live shard whose bound fell to or below the
@@ -425,6 +482,8 @@ func (m *ShardMerge) gather(ctx context.Context) error {
 		}
 		for i := 0; i < n; i++ {
 			if live[i] && !stopped[i] && bounds.Upper(i) <= kth() {
+				m.stats.PerShard[i].Bound = bounds.Upper(i)
+				m.stats.PerShard[i].Cause = ShardCauseEarlyStopped
 				scatter.Stop(i)
 				stopped[i] = true
 				m.stats.EarlyStopped++
@@ -454,17 +513,29 @@ func (m *ShardMerge) gather(ctx context.Context) error {
 			running--
 			live[msg.Shard] = false
 			wasStopped := stopped[msg.Shard]
+			out := &m.stats.PerShard[msg.Shard]
+			if !wasStopped {
+				// Capture the live bound before Exhaust collapses it.
+				out.Bound = bounds.Upper(msg.Shard)
+			}
 			bounds.Exhaust(msg.Shard)
+			out.EndAt = time.Now()
+			out.Pulled = pulled[msg.Shard]
 			switch {
 			case msg.Err == nil:
 				if !wasStopped {
 					m.stats.Exhausted++
+					out.Cause = ShardCauseExhausted
 				}
+				// A stopped shard that still drained cleanly keeps its
+				// early_stopped cause: the bound test ended it.
 			case wasStopped && errors.Is(msg.Err, ErrQueryCancelled):
 				// The stop we asked for; not a query failure.
 			default:
+				out.Cause = ShardCauseError
 				fail(msg.Err)
 			}
+			m.Progress.ShardFinished(true)
 			if failure == nil {
 				reap()
 				startMore()
@@ -485,6 +556,7 @@ func (m *ShardMerge) gather(ctx context.Context) error {
 	if failure != nil {
 		return failure
 	}
+	m.Progress.SetMerging()
 
 	// Assemble the winners: pop ascending, fill descending, copy each tuple
 	// and rewrite its rank column to the global rank.
@@ -531,6 +603,19 @@ func (m *ShardMerge) absorb(msg ShardMsg, bounds *ranking.Bounds, pulled []int, 
 	} else if score > (*h)[0].score {
 		(*h)[0] = e
 		heap.Fix(h, 0)
+	}
+	if m.Progress != nil {
+		m.Progress.SetEmitted(int64(len(*h)))
+		if len(*h) >= m.k {
+			m.Progress.SetKth((*h)[0].score)
+		}
+		best := math.Inf(-1)
+		for i := range m.inputs {
+			if u := bounds.Upper(i); u > best {
+				best = u
+			}
+		}
+		m.Progress.SetBound(best)
 	}
 	return nil
 }
